@@ -1,0 +1,34 @@
+"""Shared fixtures for the per-figure/per-table benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated GPU slice (6 SMs by default; override with REPRO_HARNESS_SMS).
+Results are memoized in a session-wide context, mirroring how the
+paper's artifact reuses measurements across plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.context import default_context
+from repro.harness.runner import run_experiment
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return default_context()
+
+
+@pytest.fixture
+def regenerate(ctx, benchmark):
+    """Run one experiment under pytest-benchmark and print its rows."""
+
+    def _run(exp_id: str):
+        table = benchmark.pedantic(
+            lambda: run_experiment(exp_id, ctx), rounds=1, iterations=1
+        )
+        print()
+        print(table.render())
+        return table
+
+    return _run

@@ -1,0 +1,124 @@
+"""Ablations of the simulator's design choices (DESIGN.md).
+
+Not a paper figure: these isolate the mechanisms our reproduction's
+conclusions rest on, so a reviewer can see which part of the model
+produces which behaviour:
+
+* address translation (uTLB) — the source of the hotness-dependent
+  per-load latency beyond raw HBM,
+* the L2 set-aside size — the pinning capacity/benefit tradeoff,
+* periodic re-pinning under drift — the Section IV-C mitigation.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.config.scale import SimScale
+from repro.core.drift import DriftModel, serve_with_drift
+from repro.core.embedding import KernelWorkload, kernel_workload, \
+    run_table_kernel
+from repro.core.schemes import BASE, L2P_OPTMT
+from repro.datasets.spec import HOTNESS_PRESETS
+
+SCALE = SimScale("ablation", 4)
+
+
+def _workload(gpu=A100_SXM4_80GB):
+    return kernel_workload(gpu, scale=SCALE)
+
+
+def _no_tlb_workload():
+    gpu = replace(A100_SXM4_80GB, tlb_miss_penalty=0)
+    wl = kernel_workload(gpu, scale=SCALE)
+    # keep the slice identity comparable
+    return KernelWorkload(
+        gpu=wl.gpu, full_gpu=gpu, factor=wl.factor,
+        batch_size=wl.batch_size, pooling_factor=wl.pooling_factor,
+        table_rows=wl.table_rows, row_bytes=wl.row_bytes,
+    )
+
+
+def test_ablation_tlb_translation_cost(benchmark):
+    def run():
+        with_tlb = _workload()
+        without = _no_tlb_workload()
+        rows = {}
+        for name in ("one_item", "random"):
+            spec = HOTNESS_PRESETS[name]
+            t_on = run_table_kernel(with_tlb, spec, BASE)
+            t_off = run_table_kernel(without, spec, BASE)
+            rows[name] = (
+                t_on.profile.kernel_time_us, t_off.profile.kernel_time_us
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, (on, off) in rows.items():
+        print(f"ablation/tlb {name}: with={on:.0f}us without={off:.0f}us")
+    # translation barely touches the cache-resident case...
+    on, off = rows["one_item"]
+    assert abs(on - off) / on < 0.05
+    # ...but is a large share of the random case's latency
+    on, off = rows["random"]
+    assert on > 1.2 * off
+    # and without it a big hotness gap still remains (caches + DRAM)
+    assert rows["random"][1] > 1.5 * rows["one_item"][1]
+
+
+def test_ablation_l2_set_aside_size(benchmark):
+    """Sweep the residency-control carve-out: more set-aside pins more
+    rows but shrinks the hardware-managed L2."""
+    fractions = (0.25, 0.5, 0.75)
+
+    def run():
+        out = {}
+        for fraction in fractions:
+            gpu = replace(A100_SXM4_80GB, l2_set_aside_fraction=fraction)
+            wl = kernel_workload(gpu, scale=SCALE)
+            result = run_table_kernel(
+                wl, HOTNESS_PRESETS["med_hot"], L2P_OPTMT
+            )
+            out[fraction] = (
+                result.profile.kernel_time_us, result.pin_coverage
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for fraction, (t, cov) in out.items():
+        print(f"ablation/set-aside {fraction:.2f}: {t:.0f}us "
+              f"coverage={cov:.2f}")
+    # larger carve-outs pin a larger share of the accesses
+    assert out[0.75][1] >= out[0.5][1] >= out[0.25][1]
+
+
+def test_ablation_drift_repinning(benchmark):
+    """Section IV-C: without refresh, pin coverage decays under drift;
+    periodic re-pinning holds it up."""
+    wl = kernel_workload(scale=SimScale("ablation-drift", 2))
+    drift = DriftModel(drift_per_batch=0.2, seed=5)
+
+    def run():
+        stale = serve_with_drift(
+            wl, HOTNESS_PRESETS["high_hot"], n_batches=5, drift=drift,
+        )
+        fresh = serve_with_drift(
+            wl, HOTNESS_PRESETS["high_hot"], n_batches=5, drift=drift,
+            repin_every=1,
+        )
+        return stale, fresh
+
+    stale, fresh = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"ablation/drift pin-once: coverage "
+          f"{stale.steps[0].pin_coverage:.2f} -> {stale.final_coverage:.2f}"
+          f", mean {stale.mean_time_us:.0f}us")
+    print(f"ablation/drift repin-1 : coverage "
+          f"{fresh.steps[0].pin_coverage:.2f} -> {fresh.final_coverage:.2f}"
+          f", mean {fresh.mean_time_us:.0f}us")
+    assert stale.final_coverage < stale.steps[0].pin_coverage
+    assert fresh.final_coverage > stale.final_coverage
+    assert fresh.mean_time_us <= stale.mean_time_us * 1.02

@@ -1,0 +1,30 @@
+"""Figure 5: coverage study of the access patterns."""
+
+from repro.harness import paper_data as paper
+
+
+def test_fig5_coverage(regenerate):
+    table = regenerate("fig5")
+    high = table.row_for("dataset", "high_hot")
+    # the paper's quoted anchor: top 10% unique rows cover ~68% of accesses
+    assert abs(
+        high["top10pct"] - paper.FIG5_HIGH_HOT_TOP10_COVERAGE_PCT
+    ) < 6.0
+    # one_item: a single row covers everything
+    one = table.row_for("dataset", "one_item")
+    assert one["top10pct"] == 100.0
+    # coverage curves are monotone and end at 100%
+    for row in table.rows:
+        values = [row[f"top{10 * (i + 1)}pct"] for i in range(10)]
+        assert values == sorted(values)
+        assert abs(values[-1] - 100.0) < 1e-6
+    # hotter datasets concentrate more mass in their top rows
+    assert high["top10pct"] > table.row_for("dataset", "med_hot")["top10pct"]
+    assert (
+        table.row_for("dataset", "med_hot")["top10pct"]
+        > table.row_for("dataset", "low_hot")["top10pct"]
+    )
+    assert (
+        table.row_for("dataset", "low_hot")["top10pct"]
+        > table.row_for("dataset", "random")["top10pct"]
+    )

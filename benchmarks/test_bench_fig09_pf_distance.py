@@ -1,0 +1,20 @@
+"""Figure 9: SMPF prefetch-distance sweep (no OptMT)."""
+
+
+def test_fig9_pf_distance(regenerate):
+    table = regenerate("fig9")
+    for row in table.rows:
+        distances = (1, 3, 5, 6, 7, 9, 10, 11, 13, 15)
+        series = [row[f"d{d}"] for d in distances]
+        # distance 1 is the worst choice for every dataset (paper)
+        assert min(series) == row["d1"], row["dataset"]
+        # larger distances improve until a plateau; d=10 is near-optimal
+        best = max(series)
+        assert row["d10"] > 0.9 * best
+        # the optimum is well away from d=1
+        assert row["best_d"] >= 5
+    # colder datasets gain more from prefetching
+    assert (
+        table.row_for("dataset", "random")["d10"]
+        > table.row_for("dataset", "high_hot")["d10"]
+    )

@@ -1,0 +1,15 @@
+"""Figure 11: L2 pinning benefit across pooling factors."""
+
+
+def test_fig11_l2p_pooling(regenerate):
+    table = regenerate("fig11")
+    poolings = (10, 30, 50, 70, 90, 110, 130, 150)
+    for row in table.rows:
+        series = [row[f"pool{p}"] for p in poolings]
+        # L2P never catastrophically hurts at any pooling factor
+        assert min(series) > 0.85, row
+        # it helps somewhere on the sweep
+        assert max(series) > 1.0, row
+        # paper: smaller pooling factors leave less natural reuse for the
+        # hardware caches, so pinning helps them at least as much
+        assert row["pool10"] >= row["pool150"] - 0.15

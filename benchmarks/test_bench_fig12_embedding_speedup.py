@@ -1,0 +1,25 @@
+"""Figure 12: embedding-only speedups of the proposed schemes."""
+
+DATASETS = ("high_hot", "med_hot", "low_hot", "random")
+
+
+def test_fig12_embedding_speedup(regenerate):
+    table = regenerate("fig12")
+    optmt = table.row_for("scheme", "OptMT")
+    rpf = table.row_for("scheme", "RPF+OptMT")
+    l2p = table.row_for("scheme", "L2P+OptMT")
+    comb = table.row_for("scheme", "RPF+L2P+OptMT")
+    # every scheme beats base on every dataset
+    for row in (optmt, rpf, l2p, comb):
+        for d in DATASETS:
+            assert row[d] > 1.0, (row["scheme"], d)
+    # headline: combined reaches ~2x for random (paper: 2.03x)
+    assert comb["random"] > 1.7
+    # prefetching pays off most on the cold end...
+    assert rpf["random"] > rpf["high_hot"]
+    assert rpf["random"] > optmt["random"]
+    # ...while pinning pays off on the hot/medium end
+    assert l2p["med_hot"] >= optmt["med_hot"] - 0.05
+    # the combination is never (materially) worse than its parts
+    for d in DATASETS:
+        assert comb[d] >= max(rpf[d], l2p[d]) - 0.10, d

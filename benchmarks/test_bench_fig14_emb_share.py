@@ -1,0 +1,18 @@
+"""Figure 14: embedding-stage contribution to end-to-end latency."""
+
+DATASETS = ("high_hot", "med_hot", "low_hot", "random")
+
+
+def test_fig14_emb_share(regenerate):
+    table = regenerate("fig14")
+    base = table.row_for("scheme", "base")
+    comb = table.row_for("scheme", "RPF+L2P+OptMT")
+    # base: embedding dominates and grows as hotness drops
+    shares = [base[d] for d in DATASETS]
+    assert shares == sorted(shares)
+    assert shares[0] > 55.0
+    # the combined scheme reduces the embedding share on every dataset
+    # (paper: by up to 10 points for random)
+    for d in DATASETS:
+        assert comb[d] < base[d], d
+    assert base["random"] - comb["random"] > 4.0

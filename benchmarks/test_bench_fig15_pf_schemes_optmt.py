@@ -1,0 +1,22 @@
+"""Figure 15: comparing all four prefetching schemes on top of OptMT."""
+
+DATASETS = ("high_hot", "med_hot", "low_hot", "random")
+
+
+def test_fig15_pf_schemes_optmt(regenerate):
+    table = regenerate("fig15")
+    rpf = table.row_for("scheme", "RPF+OptMT")
+    smpf = table.row_for("scheme", "SMPF+OptMT")
+    lmpf = table.row_for("scheme", "LMPF+OptMT")
+    l1dpf = table.row_for("scheme", "L1DPF+OptMT")
+    # paper: RPF wins (register file is closest to the pipeline)
+    for d in ("med_hot", "low_hot", "random"):
+        assert rpf[d] >= smpf[d] - 0.03, d
+        assert rpf[d] >= lmpf[d] - 0.03, d
+    # paper: L1DPF improves the least (highest instruction overhead)
+    for d in DATASETS:
+        assert l1dpf[d] <= rpf[d], d
+        assert l1dpf[d] <= smpf[d] + 0.03, d
+    # every scheme still beats base on the cold datasets
+    for row in (rpf, smpf, lmpf, l1dpf):
+        assert row["random"] > 1.3, row["scheme"]

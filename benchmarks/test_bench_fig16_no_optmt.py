@@ -1,0 +1,31 @@
+"""Figure 16: the schemes applied directly to base PyTorch (no OptMT)."""
+
+DATASETS = ("high_hot", "med_hot", "low_hot", "random")
+
+
+def test_fig16_no_optmt(regenerate, ctx):
+    table = regenerate("fig16")
+    smpf = table.row_for("scheme", "SMPF")
+    lmpf = table.row_for("scheme", "LMPF")
+    l1dpf = table.row_for("scheme", "L1DPF")
+    l2p = table.row_for("scheme", "L2P")
+    smpf_l2p = table.row_for("scheme", "SMPF+L2P")
+    # paper: without OptMT the winner flips from RPF to SMPF, because
+    # nvcc compiles SMPF at 32 warps/SM vs 24
+    from repro.core.schemes import SMPF as SMPF_SCHEME, LMPF as LMPF_SCHEME
+
+    assert SMPF_SCHEME.compile(ctx.workload().gpu).warps_per_sm == 32
+    assert LMPF_SCHEME.compile(ctx.workload().gpu).warps_per_sm == 24
+    for d in DATASETS:
+        assert smpf[d] >= lmpf[d] - 0.02, d
+        assert smpf[d] >= l1dpf[d], d
+    # RPF's occupancy collapses at distance >= 5 (16 warps)
+    from repro.core.schemes import Scheme
+
+    collapsed = Scheme(prefetch="register", prefetch_distance=5)
+    assert collapsed.compile(ctx.workload().gpu).warps_per_sm == 16
+    # part b: L2P alone is a modest, hot-biased win; it composes with SMPF
+    assert l2p["high_hot"] > 0.95
+    assert l2p["med_hot"] >= l2p["random"] - 0.02
+    for d in DATASETS:
+        assert smpf_l2p[d] >= smpf[d] - 0.05, d

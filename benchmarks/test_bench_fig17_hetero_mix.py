@@ -1,0 +1,18 @@
+"""Figure 17: heterogeneous table mixes (Table VII's Mix1/2/3)."""
+
+
+def test_fig17_hetero_mix(regenerate):
+    table = regenerate("fig17")
+    combined = "RPF+L2P+OptMT"
+    schemes = ("OptMT", "RPF+OptMT", "L2P+OptMT", combined)
+    for row in table.rows:
+        # all schemes help on every mix
+        for scheme in schemes:
+            assert row[scheme] > 1.0, (row["mix"], scheme)
+        # the combined scheme is best (or ties) within every mix
+        best_single = max(row[s] for s in schemes[:-1])
+        assert row[combined] >= best_single - 0.05, row["mix"]
+    # mixes with more cold tables benefit more (Mix3 > Mix1)
+    mix1 = table.row_for("mix", "Mix1")
+    mix3 = table.row_for("mix", "Mix3")
+    assert mix3[combined] > mix1[combined]

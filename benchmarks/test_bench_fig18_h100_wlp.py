@@ -1,0 +1,20 @@
+"""Figure 18: the WLP sweep on H100 NVL."""
+
+
+def test_fig18_h100_wlp(regenerate):
+    table = regenerate("fig18")
+    for row in table.rows:
+        if row["dataset"] == "local_loads_M":
+            continue
+        # extra WLP beats the 24-warp baseline on H100 as well
+        best = max(row[f"w{t}"] for t in (24, 32, 40, 48, 64))
+        assert best > 1.05, row
+        assert row["best_warps"] != 24, row
+        # the WLP gain curve saturates: the last step (48 -> 64 warps)
+        # buys less than the first (24 -> 32).  (The paper's measured
+        # optimum is 32 warps; our simulated H100 saturates later — a
+        # known deviation recorded in EXPERIMENTS.md.)
+        assert row["w64"] - row["w48"] < row["w32"] - row["w24"], row
+    # spilling grows with forced occupancy on H100 as well
+    loads = table.row_for("dataset", "local_loads_M")
+    assert loads["w64"] > loads["w32"]

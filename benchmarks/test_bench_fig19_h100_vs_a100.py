@@ -1,0 +1,41 @@
+"""Figure 19 / Section VI-B4: H100 NVL vs A100 comparison."""
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+
+DATASETS = ("high_hot", "med_hot", "low_hot", "random")
+
+
+def _row(table, gpu, scheme):
+    for row in table.rows:
+        if row["gpu"] == gpu and row["scheme"] == scheme:
+            return row
+    raise KeyError((gpu, scheme))
+
+
+def test_fig19_h100_vs_a100(regenerate, ctx):
+    table = regenerate("fig19")
+    from repro.core.schemes import BASE, OPTMT, RPF_L2P_OPTMT
+
+    # H100's base kernels are faster than A100's (paper: ~47% uplift)
+    for d in DATASETS:
+        h100 = ctx.kernel(d, BASE, gpu_name=H100_NVL.name)
+        a100 = ctx.kernel(d, BASE)
+        assert h100.profile.kernel_time_us < a100.profile.kernel_time_us, d
+    # OptMT lands at 32 warps on H100 (vs 40 on A100)
+    h100_wl = ctx.workload(H100_NVL)
+    assert OPTMT.compile(h100_wl.gpu).warps_per_sm == 32
+    # the integrated scheme still yields significant speedups on H100
+    h100_comb = _row(table, H100_NVL.name, "RPF+L2P+OptMT")
+    for d in DATASETS:
+        assert h100_comb[d] > 1.0, d
+    assert h100_comb["random"] > 1.4
+    # the proposed schemes narrow the cost gap: optimized A100 is in the
+    # same league as (paper: faster than) stock H100
+    a100_comb_random = ctx.kernel(
+        "random", RPF_L2P_OPTMT
+    ).profile.kernel_time_us
+    h100_base_random = ctx.kernel(
+        "random", BASE, gpu_name=H100_NVL.name
+    ).profile.kernel_time_us
+    assert a100_comb_random < h100_base_random * 1.3
+    assert A100_SXM4_80GB.name in {r["gpu"] for r in table.rows}

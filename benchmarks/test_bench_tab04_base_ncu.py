@@ -1,0 +1,38 @@
+"""Table IV: NCU characterization of the stock PyTorch embedding kernel."""
+
+
+def _measured(table, metric):
+    for row in table.rows:
+        if row["metric"] == metric and row["source"] == "measured":
+            return row
+    raise KeyError(metric)
+
+
+def test_tab4_base_ncu(regenerate):
+    table = regenerate("tab4")
+    time_row = _measured(table, "kernel_time_us")
+    order = ("one_item", "high_hot", "med_hot", "low_hot", "random")
+    times = [time_row[d] for d in order]
+    # hotness ordering: kernel time grows as hotness decreases
+    assert times == sorted(times)
+    # headline: the random-vs-one_item gap is around the paper's 3.2x
+    gap = times[-1] / times[0]
+    assert 2.2 < gap < 4.2, f"base worst-case gap {gap:.2f}"
+    # issue-slot utilization decays with hotness
+    issue = _measured(table, "issued_per_scheduler")
+    assert issue["one_item"] > 0.6
+    assert issue["random"] < 0.45
+    # long scoreboard stalls dominate as hotness drops
+    stalls = _measured(table, "long_scoreboard_stall")
+    assert stalls["random"] > 5 * stalls["one_item"]
+    # L1/L2 hit-rate structure matches the paper's sectored accounting
+    l1 = _measured(table, "l1_hit_pct")
+    assert l1["one_item"] > 95.0
+    assert 15.0 < l1["random"] < 30.0
+    # one_item reads ~nothing from DRAM; random reads >100 MB equivalent
+    dram = _measured(table, "dram_read_mb")
+    assert dram["one_item"] < 2.0
+    assert dram["random"] > 80.0
+    # latency-bound, not bandwidth-bound: BW utilization stays low
+    util = _measured(table, "hbm_bw_util_pct")
+    assert util["random"] < 40.0

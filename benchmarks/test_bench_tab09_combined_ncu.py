@@ -1,0 +1,29 @@
+"""Table IX: microarchitectural details of RPF+L2P+OptMT."""
+
+
+def _measured(table, metric):
+    for row in table.rows:
+        if row["metric"] == metric and row["source"] == "measured":
+            return row
+    raise KeyError(metric)
+
+
+def test_tab9_combined_ncu(regenerate, ctx):
+    table = regenerate("tab9")
+    from repro.core.schemes import RPF_OPTMT
+
+    # pinning cuts device-memory reads for the hot datasets vs RPF+OptMT
+    # (paper: -71% high_hot, -16% med_hot)
+    dram = _measured(table, "dram_read_mb")
+    rpf_dram_high = ctx.kernel("high_hot", RPF_OPTMT).profile.dram_read_mb
+    rpf_dram_med = ctx.kernel("med_hot", RPF_OPTMT).profile.dram_read_mb
+    assert dram["high_hot"] < rpf_dram_high * 0.6
+    assert dram["med_hot"] < rpf_dram_med
+    # random barely changes: its working set dwarfs the 30 MB set-aside
+    rpf_dram_rand = ctx.kernel("random", RPF_OPTMT).profile.dram_read_mb
+    assert dram["random"] > 0.5 * rpf_dram_rand
+    # combined never runs slower than RPF+OptMT (paper: small wins)
+    times = _measured(table, "kernel_time_us")
+    for d in ("high_hot", "med_hot", "low_hot", "random"):
+        rpf_t = ctx.kernel(d, RPF_OPTMT).profile.kernel_time_us
+        assert times[d] <= rpf_t * 1.05, d

@@ -1,0 +1,51 @@
+"""Generalizability: the paper's schemes on a GNN neighbor-gather kernel.
+
+Section VII argues the techniques apply to any memory-latency-bound
+gather kernel, naming graph neural networks.  A GNN layer's neighbor
+aggregation is exactly an embedding bag over the CSR adjacency
+(variable pooling = degree distribution), so the whole stack — OptMT,
+prefetching, pinning, even the auto-tuner — runs on it unchanged.
+
+Run:  python examples/gnn_aggregation.py
+"""
+
+from repro import BASE, OPTMT, RPF_L2P_OPTMT, SimScale
+from repro.core.embedding import kernel_workload, run_table_kernel
+from repro.core.schemes import L2P_OPTMT, RPF_OPTMT
+from repro.datasets.analysis import coverage_at
+from repro.datasets.graph import barabasi_albert_trace
+from repro.datasets.spec import DatasetSpec
+
+# A scale-free graph: hubs give the power-law reuse pinning exploits.
+trace = barabasi_albert_trace(
+    num_vertices=30_000, attachment=8, batch_vertices=80, seed=3,
+)
+print(f"graph gather layer: {trace.batch_size} vertices/batch, "
+      f"{trace.n_accesses} neighbor gathers, "
+      f"mean degree {trace.n_accesses / trace.batch_size:.1f}")
+print(f"hub concentration: top-10% vertices receive "
+      f"{coverage_at(trace, 10.0):.0f}% of gathers\n")
+
+workload = kernel_workload(
+    scale=SimScale("gnn", 4),
+    batch_size=trace.batch_size,
+    table_rows=trace.table_rows,
+)
+spec = DatasetSpec("graph_ba", "uniform", 50.0)  # identity for reporting
+
+base_time = None
+for scheme in (BASE, OPTMT, RPF_OPTMT, L2P_OPTMT, RPF_L2P_OPTMT):
+    result = run_table_kernel(workload, spec, scheme, trace=trace)
+    t = result.profile.kernel_time_us
+    if base_time is None:
+        base_time = t
+        print(f"{scheme.name:15s} {t:8.1f} us  "
+              f"(issue util {result.profile.issued_per_scheduler:.2f}, "
+              f"sb stall {result.profile.long_scoreboard_stall:.1f})")
+    else:
+        print(f"{scheme.name:15s} {t:8.1f} us  {base_time / t:5.2f}x")
+
+print("\nSame mechanics, different domain: the gather kernel is "
+      "latency-bound, WLP + prefetching hide\nthe pointer-chase, and "
+      "pinning captures the hub vertices — as the paper predicts for "
+      "GNNs.")

@@ -1,0 +1,65 @@
+"""Cost-effectiveness: optimized A100 vs stock H100 (paper Section VI-B4).
+
+The paper's punchline for datacenter operators: the proposed software
+schemes on an A100 beat *stock* PyTorch on the newer, more expensive
+H100 NVL — you can buy the upgrade, or you can apply the optimizations.
+
+Run:  python examples/h100_vs_a100.py
+"""
+
+from repro import (
+    A100_SXM4_80GB,
+    BASE,
+    H100_NVL,
+    HOTNESS_PRESETS,
+    OPTMT,
+    RPF_L2P_OPTMT,
+    SimScale,
+    run_table_kernel,
+)
+from repro.core.embedding import kernel_workload
+
+DATASETS = ("high_hot", "med_hot", "low_hot", "random")
+SCALE = SimScale("xgpu", 4)
+
+workloads = {
+    gpu.name: kernel_workload(gpu, scale=SCALE)
+    for gpu in (A100_SXM4_80GB, H100_NVL)
+}
+
+times = {}
+for gpu_name, workload in workloads.items():
+    for scheme in (BASE, OPTMT, RPF_L2P_OPTMT):
+        for dataset in DATASETS:
+            result = run_table_kernel(
+                workload, HOTNESS_PRESETS[dataset], scheme
+            )
+            times[(gpu_name, scheme.name, dataset)] = \
+                result.profile.kernel_time_us
+
+print("Per-table embedding kernel time (us):\n")
+print(f"{'config':32s}" + "".join(f"{d:>10s}" for d in DATASETS))
+for gpu_name in workloads:
+    for scheme_name in ("base", "OptMT", "RPF+L2P+OptMT"):
+        row = f"{gpu_name:18s} {scheme_name:13s}"
+        for dataset in DATASETS:
+            row += f"{times[(gpu_name, scheme_name, dataset)]:10.0f}"
+        print(row)
+
+a100, h100 = A100_SXM4_80GB.name, H100_NVL.name
+uplift = sum(
+    times[(a100, 'base', d)] / times[(h100, 'base', d)] for d in DATASETS
+) / len(DATASETS)
+cross = sum(
+    times[(h100, 'base', d)] / times[(a100, 'RPF+L2P+OptMT', d)]
+    for d in DATASETS
+) / len(DATASETS)
+
+print(f"\nH100 base uplift over A100 base:            {uplift:.2f}x "
+      "(paper: ~1.47x)")
+print(f"Optimized A100 vs stock H100:               {cross:.2f}x "
+      "(paper: optimized A100 ~23% faster)")
+print("\nConclusion: software optimization on the cheaper GPU competes "
+      "with buying newer hardware,\nand the same schemes stack on the "
+      "newer GPU anyway (up to "
+      f"{times[(h100, 'base', 'random')] / times[(h100, 'RPF+L2P+OptMT', 'random')]:.2f}x on H100).")

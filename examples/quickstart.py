@@ -1,0 +1,71 @@
+"""Quickstart: measure one embedding-table kernel under every scheme.
+
+Reproduces the core of the paper in ~a minute: the stock PyTorch
+embedding-bag kernel is memory-latency bound on a `random` access
+pattern, and OptMT + register prefetching + L2 pinning recover most of
+the gap to the cache-friendly `one_item` case.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BASE,
+    HOTNESS_PRESETS,
+    OPTMT,
+    RPF_L2P_OPTMT,
+    RPF_OPTMT,
+    Scheme,
+    SimScale,
+    kernel_workload,
+    run_table_kernel,
+)
+
+# A 4-SM proportional slice of the A100 keeps this fast; bump num_sms
+# (up to 108) for higher fidelity.
+workload = kernel_workload(scale=SimScale("quickstart", 4))
+
+print(f"simulating {workload.gpu.name}: "
+      f"batch={workload.batch_size}, pooling={workload.pooling_factor}, "
+      f"rows={workload.table_rows}\n")
+
+schemes = [BASE, OPTMT, RPF_OPTMT, Scheme(l2_pinning=True, optmt=True),
+           RPF_L2P_OPTMT]
+
+header = f"{'dataset':10s}" + "".join(f"{s.name:>16s}" for s in schemes)
+print(header)
+print("-" * len(header))
+
+base_times = {}
+for dataset in ("one_item", "high_hot", "med_hot", "low_hot", "random"):
+    spec = HOTNESS_PRESETS[dataset]
+    row = f"{dataset:10s}"
+    for scheme in schemes:
+        result = run_table_kernel(workload, spec, scheme)
+        t = result.profile.kernel_time_us
+        if scheme is BASE:
+            base_times[dataset] = t
+            row += f"{t:13.0f}us "
+        else:
+            row += f"{base_times[dataset] / t:14.2f}x "
+    print(row)
+
+print("\nAnatomy of the win (random dataset):")
+for scheme in (BASE, RPF_L2P_OPTMT):
+    p = run_table_kernel(workload, HOTNESS_PRESETS["random"], scheme).profile
+    print(
+        f"  {scheme.name:15s} issue-slot util {p.issued_per_scheduler:.2f}, "
+        f"long-scoreboard stall {p.long_scoreboard_stall:.1f} cyc/inst, "
+        f"HBM {p.avg_hbm_bw_gbps:.0f} GB/s ({p.hbm_bw_util_pct:.0f}% of peak)"
+    )
+
+gap_base = base_times["random"] / base_times["one_item"]
+comb = run_table_kernel(
+    workload, HOTNESS_PRESETS["random"], RPF_L2P_OPTMT
+).profile.kernel_time_us
+one_comb = run_table_kernel(
+    workload, HOTNESS_PRESETS["one_item"], RPF_L2P_OPTMT
+).profile.kernel_time_us
+print(
+    f"\nworst-case gap (random vs one_item): {gap_base:.2f}x stock -> "
+    f"{comb / one_comb:.2f}x combined   (paper: 3.2x -> 1.57x)"
+)

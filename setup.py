@@ -1,0 +1,8 @@
+"""Legacy setup shim: the execution environment is offline and lacks the
+``wheel`` package, so PEP 517 editable installs cannot build; this keeps
+``pip install -e .`` working via setuptools' develop path.  All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — reproduction of "Pushing the Performance Envelope of DNN-based
+Recommendation Systems Inference on GPUs" (MICRO 2024).
+
+The public API in one import::
+
+    from repro import (
+        A100_SXM4_80GB, H100_NVL, PAPER_MODEL,
+        Scheme, kernel_workload, run_table_kernel, run_inference,
+        HOTNESS_PRESETS, autotune,
+    )
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from repro.config import (
+    A100_SXM4_80GB,
+    BENCH_SCALE,
+    FULL_SCALE,
+    H100_NVL,
+    PAPER_MODEL,
+    TEST_SCALE,
+    DLRMConfig,
+    EmbeddingTableConfig,
+    GpuSpec,
+    SimScale,
+)
+from repro.core import (
+    BASE,
+    FIG12_SCHEMES,
+    OPTMT,
+    RPF_L2P_OPTMT,
+    RPF_OPTMT,
+    InferenceResult,
+    KernelWorkload,
+    Scheme,
+    TableKernelResult,
+    autotune,
+    kernel_workload,
+    run_embedding_stage,
+    run_inference,
+    run_table_kernel,
+    speedup,
+)
+from repro.datasets import (
+    EVAL_PRESETS,
+    HOTNESS_PRESETS,
+    TABLE_MIXES,
+    DatasetSpec,
+    EmbeddingTrace,
+    generate_trace,
+)
+from repro.dlrm import DLRM, Batch, embedding_bag, make_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_SXM4_80GB",
+    "BASE",
+    "BENCH_SCALE",
+    "Batch",
+    "DLRM",
+    "DLRMConfig",
+    "DatasetSpec",
+    "EVAL_PRESETS",
+    "EmbeddingTableConfig",
+    "EmbeddingTrace",
+    "FIG12_SCHEMES",
+    "FULL_SCALE",
+    "GpuSpec",
+    "H100_NVL",
+    "HOTNESS_PRESETS",
+    "InferenceResult",
+    "KernelWorkload",
+    "OPTMT",
+    "PAPER_MODEL",
+    "RPF_L2P_OPTMT",
+    "RPF_OPTMT",
+    "Scheme",
+    "SimScale",
+    "TABLE_MIXES",
+    "TEST_SCALE",
+    "TableKernelResult",
+    "autotune",
+    "embedding_bag",
+    "generate_trace",
+    "kernel_workload",
+    "make_batch",
+    "run_embedding_stage",
+    "run_inference",
+    "run_table_kernel",
+    "speedup",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Hardware, model and simulation-scale configuration."""
+
+from repro.config.gpu import (
+    A100_SXM4_80GB,
+    CACHE_LINE_BYTES,
+    GPUS,
+    H100_NVL,
+    SECTOR_BYTES,
+    SECTORS_PER_LINE,
+    WARP_SIZE,
+    GpuSpec,
+)
+from repro.config.model import PAPER_MODEL, DLRMConfig, EmbeddingTableConfig
+from repro.config.scale import (
+    BENCH_SCALE,
+    FULL_SCALE,
+    SCALES,
+    TEST_SCALE,
+    ScaledWorkload,
+    SimScale,
+)
+
+__all__ = [
+    "A100_SXM4_80GB",
+    "BENCH_SCALE",
+    "CACHE_LINE_BYTES",
+    "DLRMConfig",
+    "EmbeddingTableConfig",
+    "FULL_SCALE",
+    "GPUS",
+    "GpuSpec",
+    "H100_NVL",
+    "PAPER_MODEL",
+    "SCALES",
+    "SECTOR_BYTES",
+    "SECTORS_PER_LINE",
+    "ScaledWorkload",
+    "SimScale",
+    "TEST_SCALE",
+    "WARP_SIZE",
+]

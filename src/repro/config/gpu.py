@@ -1,0 +1,173 @@
+"""GPU hardware specifications used by the timing simulator.
+
+The numbers transcribed here come from the paper's Tables I, II and VI,
+the A100/H100 whitepapers it cites, and the Hopper/Ampere benchmarking
+study (Luo et al.) it uses for access latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+CACHE_LINE_BYTES = 128
+SECTOR_BYTES = 32
+SECTORS_PER_LINE = CACHE_LINE_BYTES // SECTOR_BYTES
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Microarchitectural description of one GPU.
+
+    Latencies are in core clock cycles and follow the paper's Table I
+    (A100, from Luo et al.); capacities follow Tables II and VI.
+    """
+
+    name: str
+    num_sms: int
+    smsps_per_sm: int
+    max_warps_per_sm: int
+    warps_per_block: int
+    registers_per_sm: int
+    register_alloc_unit: int
+    l1_bytes: int
+    l1_assoc: int
+    shared_mem_bytes: int
+    l2_bytes: int
+    l2_assoc: int
+    l2_set_aside_fraction: float
+    l2_bandwidth_gbps: float
+    hbm_bytes: int
+    hbm_bandwidth_gbps: float
+    clock_ghz: float
+    fp32_tflops: float
+    pcie_gbps: float
+    # Access latencies (cycles), Table I.
+    lat_register: int
+    lat_shared: int
+    lat_l1: int
+    lat_l2: int
+    lat_hbm: int
+    # Address-translation model: a per-SM uTLB over 4 KB pages. Random
+    # gathers over a multi-hundred-MB table thrash it, which is what pushes
+    # the paper's observed per-load stalls far beyond the raw HBM latency.
+    tlb_entries: int
+    tlb_page_bytes: int
+    tlb_miss_penalty: int
+
+    @property
+    def max_warps_per_smsp(self) -> int:
+        return self.max_warps_per_sm // self.smsps_per_sm
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        """Aggregate HBM bandwidth expressed per core-clock cycle."""
+        return self.hbm_bandwidth_gbps * 1e9 / (self.clock_ghz * 1e9)
+
+    @property
+    def l2_bytes_per_cycle(self) -> float:
+        """Aggregate L2-to-SM bandwidth per core-clock cycle."""
+        return self.l2_bandwidth_gbps * 1e9 / (self.clock_ghz * 1e9)
+
+    @property
+    def l2_set_aside_bytes(self) -> int:
+        """Maximum L2 carve-out for residency control (75% on A100)."""
+        return int(self.l2_bytes * self.l2_set_aside_fraction)
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e3)
+
+    def scaled_slice(self, num_sms: int) -> "GpuSpec":
+        """Return a proportional slice of this GPU with ``num_sms`` SMs.
+
+        Chip-shared resources (L2, HBM bandwidth) scale with the SM
+        count.  L1 and the uTLB are per-SM, but the *table* working set
+        each SM observes also shrinks with the slice (the batch scales),
+        so they are scaled too to preserve footprint-to-capacity ratios;
+        streaming and local-memory accesses bypass the scaled L1 (see
+        ``MemoryHierarchy``).  Issue/occupancy resources (register file,
+        warp slots, schedulers) are untouched — per-SM work is preserved.
+        """
+        if not 0 < num_sms <= self.num_sms:
+            raise ValueError(
+                f"slice must use 1..{self.num_sms} SMs, got {num_sms}"
+            )
+        factor = num_sms / self.num_sms
+        return replace(
+            self,
+            name=f"{self.name}-slice{num_sms}",
+            num_sms=num_sms,
+            l1_bytes=max(16 * CACHE_LINE_BYTES * self.l1_assoc,
+                         int(self.l1_bytes * factor)),
+            l2_bytes=max(CACHE_LINE_BYTES * self.l2_assoc,
+                         int(self.l2_bytes * factor)),
+            l2_bandwidth_gbps=self.l2_bandwidth_gbps * factor,
+            hbm_bytes=int(self.hbm_bytes * factor),
+            hbm_bandwidth_gbps=self.hbm_bandwidth_gbps * factor,
+        )
+
+
+#: Nvidia A100-SXM4-80GB — the paper's primary platform (Table VI).
+A100_SXM4_80GB = GpuSpec(
+    name="A100-SXM4-80GB",
+    num_sms=108,
+    smsps_per_sm=4,
+    max_warps_per_sm=64,
+    warps_per_block=8,
+    registers_per_sm=64 * 1024,
+    register_alloc_unit=256,
+    l1_bytes=192 * 1024,
+    l1_assoc=4,
+    shared_mem_bytes=164 * 1024,
+    l2_bytes=40 * 1024 * 1024,
+    l2_assoc=16,
+    l2_set_aside_fraction=0.75,
+    l2_bandwidth_gbps=3800.0,
+    hbm_bytes=80 * 1024**3,
+    hbm_bandwidth_gbps=1940.0,
+    clock_ghz=1.41,
+    fp32_tflops=19.5,
+    pcie_gbps=25.0,
+    lat_register=1,
+    lat_shared=29,
+    lat_l1=38,
+    lat_l2=262,
+    lat_hbm=466,
+    tlb_entries=128,
+    tlb_page_bytes=4096,
+    tlb_miss_penalty=650,
+)
+
+#: Nvidia H100 NVL — the paper's Section VI-B4 platform.
+#: 132 SMs / 16896 cores, 50 MB L2, HBM3 at 3.84 TB/s, ~27% faster SM clock.
+H100_NVL = GpuSpec(
+    name="H100-NVL",
+    num_sms=132,
+    smsps_per_sm=4,
+    max_warps_per_sm=64,
+    warps_per_block=8,
+    registers_per_sm=64 * 1024,
+    register_alloc_unit=256,
+    l1_bytes=256 * 1024,
+    l1_assoc=4,
+    shared_mem_bytes=228 * 1024,
+    l2_bytes=50 * 1024 * 1024,
+    l2_assoc=16,
+    l2_set_aside_fraction=0.75,
+    l2_bandwidth_gbps=5500.0,
+    hbm_bytes=94 * 1024**3,
+    hbm_bandwidth_gbps=3840.0,
+    clock_ghz=1.785,
+    fp32_tflops=60.0,
+    pcie_gbps=50.0,
+    lat_register=1,
+    lat_shared=29,
+    lat_l1=33,
+    lat_l2=273,
+    lat_hbm=572,
+    tlb_entries=128,
+    tlb_page_bytes=4096,
+    tlb_miss_penalty=780,
+)
+
+GPUS = {spec.name: spec for spec in (A100_SXM4_80GB, H100_NVL)}

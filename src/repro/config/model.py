@@ -1,0 +1,71 @@
+"""DLRM model and workload configuration (paper Section V).
+
+The paper's representative industrial inference configuration:
+
+* bottom MLP 1024-512-128-128, top MLP 128-64-1
+* 250 embedding tables x 500,000 rows x 128 dims, fp32 (512 B per vector)
+* batch size 2048, pooling factor (lookups per sample) 150
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class EmbeddingTableConfig:
+    """One embedding table: ``rows x dim`` values of ``precision`` bytes."""
+
+    rows: int = 500_000
+    dim: int = 128
+    precision_bytes: int = 4
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * self.precision_bytes
+
+    @property
+    def table_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    def scaled(self, factor: float) -> "EmbeddingTableConfig":
+        """Scale the row count (used by proportional GPU slices)."""
+        return replace(self, rows=max(64, int(round(self.rows * factor))))
+
+
+@dataclass(frozen=True)
+class DLRMConfig:
+    """Model-level configuration for end-to-end inference."""
+
+    num_tables: int = 250
+    table: EmbeddingTableConfig = field(default_factory=EmbeddingTableConfig)
+    batch_size: int = 2048
+    pooling_factor: int = 150
+    bottom_mlp_dims: tuple[int, ...] = (1024, 512, 128, 128)
+    top_mlp_dims: tuple[int, ...] = (128, 64, 1)
+    dense_features: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.bottom_mlp_dims[-1] != self.table.dim:
+            raise ValueError(
+                "bottom MLP output dim must equal the embedding dim "
+                f"({self.bottom_mlp_dims[-1]} != {self.table.dim})"
+            )
+
+    @property
+    def lookups_per_table(self) -> int:
+        return self.batch_size * self.pooling_factor
+
+    @property
+    def embedding_bytes_per_table(self) -> int:
+        """Data processed per table (BS x pooling x dim x precision)."""
+        return self.lookups_per_table * self.table.row_bytes
+
+    @property
+    def model_bytes(self) -> int:
+        """Total embedding weight footprint (the ~60 GB in Section V)."""
+        return self.num_tables * self.table.table_bytes
+
+
+#: The paper's Section V configuration.
+PAPER_MODEL = DLRMConfig()

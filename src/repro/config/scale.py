@@ -1,0 +1,85 @@
+"""Proportional GPU slicing for tractable pure-Python simulation.
+
+Simulating all 108 A100 SMs with 8192 warps x 150 lookups per kernel is
+too slow for a Python test suite.  A ``SimScale`` shrinks the simulated
+chip to ``num_sms`` SMs and scales the *chip-shared* workload and
+resources by the same factor:
+
+* batch size (so per-SM resident work is unchanged),
+* table rows (so the footprint : L2-capacity ratio is unchanged),
+* L2 capacity, L2 set-aside, and HBM bandwidth (via ``GpuSpec.scaled_slice``).
+
+Per-SM quantities — pooling factor, L1, register file, occupancy, uTLB —
+are left alone, so per-SM contention and latency-hiding behaviour match
+the full chip.  Reported kernel times are directly comparable to paper
+values because per-SM work is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import GpuSpec
+from repro.config.model import DLRMConfig
+
+
+def _round_to(value: float, multiple: int, minimum: int) -> int:
+    return max(minimum, int(round(value / multiple)) * multiple)
+
+
+@dataclass(frozen=True)
+class SimScale:
+    """A named simulation fidelity level."""
+
+    name: str
+    num_sms: int
+
+    def apply(self, gpu: GpuSpec, model: DLRMConfig) -> "ScaledWorkload":
+        factor = self.num_sms / gpu.num_sms
+        sliced_gpu = gpu.scaled_slice(self.num_sms)
+        # Keep whole blocks: 8 warps/block, 4 warps/sample -> 2 samples/block.
+        samples_per_block = max(
+            1, gpu.warps_per_block // max(1, model.table.dim // 32)
+        )
+        batch = _round_to(model.batch_size * factor, samples_per_block * 2, 4)
+        table = model.table.scaled(factor)
+        return ScaledWorkload(
+            scale=self,
+            gpu=sliced_gpu,
+            model=model,
+            batch_size=batch,
+            table_rows=table.rows,
+            factor=factor,
+        )
+
+
+@dataclass(frozen=True)
+class ScaledWorkload:
+    """The result of applying a :class:`SimScale` to a GPU + model."""
+
+    scale: SimScale
+    gpu: GpuSpec
+    model: DLRMConfig
+    batch_size: int
+    table_rows: int
+    factor: float
+
+    @property
+    def pooling_factor(self) -> int:
+        return self.model.pooling_factor
+
+    @property
+    def accesses_per_table(self) -> int:
+        return self.batch_size * self.pooling_factor
+
+
+#: Tiny slice for unit tests (seconds-scale full suites).
+TEST_SCALE = SimScale(name="test", num_sms=2)
+
+#: Default slice for benchmark harness runs.
+BENCH_SCALE = SimScale(name="bench", num_sms=6)
+
+#: Full-chip simulation (slow; for spot checks).
+FULL_SCALE = SimScale(name="full", num_sms=108)
+
+SCALES = {s.name: s for s in (TEST_SCALE, BENCH_SCALE, FULL_SCALE)}

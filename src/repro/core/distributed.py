@@ -1,0 +1,132 @@
+"""Multi-GPU model-parallel embedding inference (paper Sections II-A, VII).
+
+Large DLRMs shard their embedding tables across GPUs; each GPU runs its
+tables serially (the regime the paper's per-table optimizations target)
+and the per-sample vectors are gathered over NVLink before interaction.
+The paper argues its schemes apply unchanged per table — this module
+makes that concrete: shard a (possibly heterogeneous) table mix across
+GPUs, apply any scheme per table, and report the stage-level balance.
+
+Sharding uses LPT (longest-processing-time-first) on *measured* per-
+table kernel times, which is what production placement systems
+approximate with cost models.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.embedding import KernelWorkload, run_table_kernel
+from repro.core.schemes import Scheme
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.dlrm.timing import KERNEL_LAUNCH_US
+
+#: NVLink all-gather effective bandwidth per GPU (A100 NVLink3).
+NVLINK_GBPS = 300.0
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One GPU's table assignment."""
+
+    gpu_index: int
+    tables: tuple[str, ...]  # dataset name per table, in placement order
+    compute_us: float
+
+
+@dataclass(frozen=True)
+class DistributedStageResult:
+    """A sharded embedding stage execution."""
+
+    scheme: Scheme
+    shards: tuple[Shard, ...]
+    allgather_us: float
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.shards)
+
+    @property
+    def critical_path_us(self) -> float:
+        """GPUs run in parallel: the slowest shard plus the gather."""
+        return max(s.compute_us for s in self.shards) + self.allgather_us
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean shard compute (1.0 = perfectly balanced)."""
+        times = [s.compute_us for s in self.shards]
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean else 1.0
+
+    def speedup_over(self, other: "DistributedStageResult") -> float:
+        return other.critical_path_us / self.critical_path_us
+
+
+def lpt_shard(
+    table_times: dict[str, float], mix: dict[str, int], n_gpus: int
+) -> list[list[str]]:
+    """Longest-processing-time-first placement of tables onto GPUs."""
+    if n_gpus <= 0:
+        raise ValueError("need at least one GPU")
+    tables = [
+        name for name, count in mix.items() for _ in range(count)
+    ]
+    tables.sort(key=lambda name: table_times[name], reverse=True)
+    heap = [(0.0, gpu) for gpu in range(n_gpus)]
+    heapq.heapify(heap)
+    placement: list[list[str]] = [[] for _ in range(n_gpus)]
+    for name in tables:
+        load, gpu = heapq.heappop(heap)
+        placement[gpu].append(name)
+        heapq.heappush(heap, (load + table_times[name], gpu))
+    return placement
+
+
+def allgather_us(
+    workload: KernelWorkload, total_tables: int, n_gpus: int
+) -> float:
+    """All-gather of per-table pooled outputs before interaction.
+
+    Every sample contributes one ``row_bytes`` vector per remote table;
+    each GPU must receive the vectors of all tables it does not own.
+    """
+    if n_gpus == 1:
+        return 0.0
+    batch = workload.batch_size / workload.factor  # full-chip batch
+    remote_tables = total_tables * (n_gpus - 1) / n_gpus
+    bytes_in = batch * remote_tables * workload.row_bytes
+    return 1e6 * bytes_in / (NVLINK_GBPS * 1e9)
+
+
+def run_distributed_stage(
+    workload: KernelWorkload,
+    mix: dict[str, int],
+    scheme: Scheme,
+    *,
+    n_gpus: int = 4,
+    seed: int = 0,
+) -> DistributedStageResult:
+    """Shard the embedding stage over ``n_gpus`` identical GPUs."""
+    if not mix:
+        raise ValueError("table mix is empty")
+    table_times = {
+        name: run_table_kernel(
+            workload, HOTNESS_PRESETS[name], scheme, seed=seed
+        ).profile.kernel_time_us + KERNEL_LAUNCH_US
+        for name in mix
+    }
+    placement = lpt_shard(table_times, mix, n_gpus)
+    shards = tuple(
+        Shard(
+            gpu_index=gpu,
+            tables=tuple(tables),
+            compute_us=sum(table_times[t] for t in tables),
+        )
+        for gpu, tables in enumerate(placement)
+    )
+    return DistributedStageResult(
+        scheme=scheme,
+        shards=shards,
+        allgather_us=allgather_us(workload, sum(mix.values()), n_gpus),
+    )

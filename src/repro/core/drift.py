@@ -1,0 +1,174 @@
+"""Access-pattern drift and periodic re-pinning (paper Section IV-C).
+
+The paper notes that "embedding access patterns can change over time,
+potentially reducing the effectiveness of L2 pinning" and proposes
+updating the pinned data periodically.  This module implements that
+extension: a drift model that migrates popularity mass to new rows
+between batches, and a serving loop that compares re-pinning policies.
+
+Drift model: between consecutive batches a fraction ``drift_per_batch``
+of the popularity *ranks* is reassigned to previously-cold rows (new
+items trending).  Rank-to-row assignment is deterministic per step, so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.embedding import KernelWorkload, run_table_kernel
+from repro.core.schemes import Scheme
+from repro.datasets.analysis import top_hot_rows
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.trace import EmbeddingTrace
+from repro.kernels.pinning import pinnable_rows
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Migrates a fraction of hot-row identities between batches."""
+
+    drift_per_batch: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drift_per_batch <= 1.0:
+            raise ValueError("drift_per_batch must be in [0, 1]")
+
+    def apply(
+        self, trace: EmbeddingTrace, step: int
+    ) -> EmbeddingTrace:
+        """Return ``trace`` with popularity drifted ``step`` times.
+
+        Each step remaps ``drift_per_batch`` of the distinct rows to
+        fresh rows outside the current working set (cumulative across
+        steps), preserving the trace's frequency *shape* exactly.
+        """
+        if step <= 0 or self.drift_per_batch == 0.0:
+            return trace
+        rng = np.random.default_rng(self.seed + 7_000_003)
+        unique_rows = np.unique(trace.indices)
+        mapping = {}
+        available = np.setdiff1d(
+            np.arange(trace.table_rows, dtype=np.int64), unique_rows,
+            assume_unique=False,
+        )
+        rng.shuffle(available)
+        cursor = 0
+        for s in range(step):
+            step_rng = np.random.default_rng(self.seed + 31 * (s + 1))
+            n_moved = int(round(self.drift_per_batch * len(unique_rows)))
+            if n_moved == 0 or cursor + n_moved > len(available):
+                break
+            moved = step_rng.choice(unique_rows, n_moved, replace=False)
+            for row in moved:
+                mapping[int(row)] = int(available[cursor])
+                cursor += 1
+        if not mapping:
+            return trace
+        indices = trace.indices.copy()
+        keys = np.array(list(mapping), dtype=np.int64)
+        values = np.array([mapping[int(k)] for k in keys], dtype=np.int64)
+        order = np.argsort(keys)
+        keys, values = keys[order], values[order]
+        pos = np.searchsorted(keys, indices)
+        pos = np.clip(pos, 0, len(keys) - 1)
+        hit = keys[pos] == indices
+        indices[hit] = values[pos[hit]]
+        return EmbeddingTrace(
+            name=f"{trace.name}+drift{step}",
+            indices=indices,
+            offsets=trace.offsets,
+            table_rows=trace.table_rows,
+        )
+
+
+@dataclass
+class DriftStep:
+    """One served batch in the drift experiment."""
+
+    step: int
+    kernel_time_us: float
+    pin_coverage: float
+    repinned: bool
+
+
+@dataclass
+class DriftReport:
+    """Outcome of serving a drifting workload under one re-pin policy."""
+
+    policy: str
+    steps: list[DriftStep] = field(default_factory=list)
+
+    @property
+    def mean_time_us(self) -> float:
+        return float(np.mean([s.kernel_time_us for s in self.steps]))
+
+    @property
+    def final_coverage(self) -> float:
+        return self.steps[-1].pin_coverage if self.steps else 0.0
+
+    @property
+    def repin_count(self) -> int:
+        return sum(1 for s in self.steps if s.repinned)
+
+
+def serve_with_drift(
+    workload: KernelWorkload,
+    spec: DatasetSpec,
+    *,
+    n_batches: int = 10,
+    drift: DriftModel | None = None,
+    repin_every: int | None = None,
+    scheme: Scheme | None = None,
+    seed: int = 0,
+) -> DriftReport:
+    """Serve ``n_batches`` drifting batches under an L2P re-pin policy.
+
+    ``repin_every=None`` pins once at startup and never refreshes
+    (the paper's baseline concern); ``repin_every=k`` re-profiles and
+    re-pins every ``k`` batches (the paper's proposed mitigation).
+    """
+    if scheme is None:
+        scheme = Scheme(l2_pinning=True, optmt=True)
+    if not scheme.l2_pinning:
+        raise ValueError("drift experiment requires an L2P scheme")
+    drift = drift or DriftModel()
+    policy = (
+        "pin-once" if repin_every is None else f"repin-every-{repin_every}"
+    )
+    report = DriftReport(policy=policy)
+
+    base_trace = generate_trace(
+        spec,
+        batch_size=workload.batch_size,
+        pooling_factor=workload.pooling_factor,
+        table_rows=workload.table_rows,
+        seed=seed,
+    )
+    k = pinnable_rows(
+        workload.gpu.l2_set_aside_bytes, workload.row_bytes
+    )
+    hot_rows = top_hot_rows(base_trace, k)
+
+    for step in range(n_batches):
+        trace = drift.apply(base_trace, step)
+        repinned = False
+        if repin_every is not None and step > 0 and step % repin_every == 0:
+            # re-profile on the *previous* batch's pattern (online view)
+            hot_rows = top_hot_rows(drift.apply(base_trace, step - 1), k)
+            repinned = True
+        result = run_table_kernel(
+            workload, spec, scheme,
+            trace=trace, hot_rows=hot_rows, seed=seed,
+        )
+        report.steps.append(DriftStep(
+            step=step,
+            kernel_time_us=result.profile.kernel_time_us,
+            pin_coverage=result.pin_coverage,
+            repinned=repinned,
+        ))
+    return report

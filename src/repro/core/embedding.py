@@ -1,0 +1,236 @@
+"""Embedding-stage execution: one table kernel, or the full 250-table stage.
+
+This is the main entry point of the library: pick a GPU, a model, a
+simulation scale, a dataset and a :class:`~repro.core.schemes.Scheme`,
+and get back the paper's metrics for that configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.gpu import GpuSpec, A100_SXM4_80GB
+from repro.config.model import DLRMConfig, PAPER_MODEL
+from repro.config.scale import BENCH_SCALE, SimScale
+from repro.core.schemes import Scheme
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS, DatasetSpec
+from repro.datasets.trace import EmbeddingTrace
+from repro.dlrm.timing import KERNEL_LAUNCH_US
+from repro.gpusim.engine import run_kernel
+from repro.gpusim.hierarchy import MemoryHierarchy
+from repro.gpusim.profiler import KernelProfile
+from repro.kernels import calibration as cal
+from repro.kernels.address_map import STREAMING_RANGE, AddressMap
+from repro.kernels.compiler import KernelBuild
+from repro.kernels.pinning import (
+    pin_hot_rows,
+    pinnable_rows,
+    pinned_coverage,
+    profile_hot_rows,
+    simulate_pin_kernel,
+)
+from repro.kernels.registry import build_programs
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """A sliced GPU plus the (correspondingly sliced) table workload."""
+
+    gpu: GpuSpec
+    full_gpu: GpuSpec
+    factor: float
+    batch_size: int
+    pooling_factor: int
+    table_rows: int
+    row_bytes: int
+
+    @property
+    def accesses(self) -> int:
+        return self.batch_size * self.pooling_factor
+
+
+def kernel_workload(
+    gpu: GpuSpec = A100_SXM4_80GB,
+    model: DLRMConfig = PAPER_MODEL,
+    scale: SimScale = BENCH_SCALE,
+    *,
+    batch_size: int | None = None,
+    pooling_factor: int | None = None,
+    table_rows: int | None = None,
+) -> KernelWorkload:
+    """Resolve GPU + model + scale (with optional sweep overrides)."""
+    scaled = scale.apply(gpu, model)
+    return KernelWorkload(
+        gpu=scaled.gpu,
+        full_gpu=gpu,
+        factor=scaled.factor,
+        batch_size=batch_size or scaled.batch_size,
+        pooling_factor=pooling_factor or model.pooling_factor,
+        table_rows=table_rows or scaled.table_rows,
+        row_bytes=model.table.row_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class TableKernelResult:
+    """One table's kernel execution under one scheme."""
+
+    scheme: Scheme
+    dataset: str
+    build: KernelBuild
+    profile: KernelProfile
+    pinned_lines: int
+    pin_coverage: float
+    pin_kernel_us: float
+
+    @property
+    def kernel_time_us(self) -> float:
+        return self.profile.kernel_time_us
+
+
+def run_table_kernel(
+    workload: KernelWorkload,
+    spec: DatasetSpec,
+    scheme: Scheme,
+    *,
+    seed: int = 0,
+    trace: EmbeddingTrace | None = None,
+    hot_rows: np.ndarray | None = None,
+    time_pin_kernel: bool = False,
+) -> TableKernelResult:
+    """Simulate one embedding table's kernel under a scheme.
+
+    ``trace``/``hot_rows`` can be supplied to reuse work across sweeps;
+    by default they are generated from ``spec`` deterministically.
+    """
+    gpu = workload.gpu
+    if trace is None:
+        trace = generate_trace(
+            spec,
+            batch_size=workload.batch_size,
+            pooling_factor=workload.pooling_factor,
+            table_rows=workload.table_rows,
+            seed=seed,
+        )
+    build = scheme.compile(gpu)
+    amap = AddressMap(row_bytes=workload.row_bytes)
+
+    set_aside = gpu.l2_set_aside_bytes if scheme.l2_pinning else 0
+    hierarchy = MemoryHierarchy(
+        gpu, l2_set_aside_bytes=set_aside, streaming_range=STREAMING_RANGE
+    )
+    local_lines = build.spilled_regs + (
+        build.prefetch_distance if build.prefetch == "local" else 0
+    )
+    hierarchy.configure_local_memory(
+        local_lines * 128 * build.warps_per_sm,
+        int(workload.full_gpu.l1_bytes * cal.LOCAL_L1_BUDGET_FRACTION),
+    )
+
+    pinned_lines = 0
+    pin_cov = 0.0
+    pin_us = 0.0
+    if scheme.l2_pinning:
+        if hot_rows is None:
+            hot_rows = profile_hot_rows(
+                spec,
+                batch_size=workload.batch_size,
+                pooling_factor=workload.pooling_factor,
+                table_rows=workload.table_rows,
+                k=pinnable_rows(set_aside, workload.row_bytes),
+                seed=seed,
+            )
+        if time_pin_kernel:
+            scratch = MemoryHierarchy(
+                gpu,
+                l2_set_aside_bytes=set_aside,
+                streaming_range=STREAMING_RANGE,
+            )
+            pin_stats = simulate_pin_kernel(gpu, scratch, hot_rows, amap)
+            pin_us = gpu.cycles_to_us(pin_stats.makespan_cycles)
+        pinned_lines = pin_hot_rows(hierarchy, hot_rows, amap)
+        pin_cov = pinned_coverage(trace, hot_rows)
+
+    programs = build_programs(trace, build, amap)
+    stats = run_kernel(
+        gpu,
+        hierarchy,
+        programs,
+        warps_per_sm=build.warps_per_sm,
+        warps_per_block=build.warps_per_block,
+        name=f"{scheme.name}/{spec.name}",
+    )
+    profile = KernelProfile.from_run(
+        gpu,
+        stats,
+        hierarchy,
+        chip_factor=workload.factor,
+        full_hbm_gbps=workload.full_gpu.hbm_bandwidth_gbps,
+    )
+    return TableKernelResult(
+        scheme=scheme,
+        dataset=spec.name,
+        build=build,
+        profile=profile,
+        pinned_lines=pinned_lines,
+        pin_coverage=pin_cov,
+        pin_kernel_us=pin_us,
+    )
+
+
+@dataclass(frozen=True)
+class EmbeddingStageResult:
+    """The full multi-table embedding stage under one scheme."""
+
+    scheme: Scheme
+    mix: dict[str, int]
+    per_table: dict[str, TableKernelResult]
+    launch_overhead_us: float
+
+    @property
+    def num_tables(self) -> int:
+        return sum(self.mix.values())
+
+    @property
+    def total_time_us(self) -> float:
+        """Tables run serially on the GPU (paper Section II-A)."""
+        total = 0.0
+        for name, count in self.mix.items():
+            total += count * (
+                self.per_table[name].kernel_time_us + self.launch_overhead_us
+            )
+        return total
+
+
+def run_embedding_stage(
+    workload: KernelWorkload,
+    mix: dict[str, int],
+    scheme: Scheme,
+    *,
+    seed: int = 0,
+) -> EmbeddingStageResult:
+    """Simulate the embedding stage for a (possibly heterogeneous) mix
+    of tables, e.g. ``{"high_hot": 100, "med_hot": 75, ...}`` (Table VII).
+
+    Tables of the same hotness are statistically identical, so one
+    representative kernel per dataset is simulated and weighted by count.
+    """
+    if not mix:
+        raise ValueError("table mix is empty")
+    per_table: dict[str, TableKernelResult] = {}
+    for name, count in mix.items():
+        if count <= 0:
+            raise ValueError(f"table count for {name!r} must be positive")
+        spec = HOTNESS_PRESETS[name]
+        per_table[name] = run_table_kernel(
+            workload, spec, scheme, seed=seed
+        )
+    return EmbeddingStageResult(
+        scheme=scheme,
+        mix=dict(mix),
+        per_table=per_table,
+        launch_overhead_us=KERNEL_LAUNCH_US,
+    )

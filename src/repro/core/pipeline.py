@@ -1,0 +1,91 @@
+"""End-to-end DLRM inference latency (the paper's Figures 1, 13, 14).
+
+Combines the simulated embedding stage with the roofline-timed
+non-embedding stages into one batch latency, and reports the embedding
+stage's share of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import GpuSpec, A100_SXM4_80GB
+from repro.config.model import DLRMConfig, PAPER_MODEL
+from repro.config.scale import BENCH_SCALE, SimScale
+from repro.core.embedding import (
+    EmbeddingStageResult,
+    KernelWorkload,
+    kernel_workload,
+    run_embedding_stage,
+)
+from repro.core.schemes import Scheme
+from repro.dlrm.timing import NonEmbeddingTiming, non_embedding_time
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One batch's end-to-end latency under one scheme."""
+
+    scheme: Scheme
+    mix: dict[str, int]
+    embedding: EmbeddingStageResult
+    non_embedding: NonEmbeddingTiming
+
+    @property
+    def embedding_us(self) -> float:
+        return self.embedding.total_time_us
+
+    @property
+    def non_embedding_us(self) -> float:
+        return self.non_embedding.total_us
+
+    @property
+    def batch_latency_ms(self) -> float:
+        return (self.embedding_us + self.non_embedding_us) / 1e3
+
+    @property
+    def embedding_share_pct(self) -> float:
+        """The paper's Figure 14 metric."""
+        total = self.embedding_us + self.non_embedding_us
+        return 100.0 * self.embedding_us / total if total else 0.0
+
+
+def run_inference(
+    datasets: str | dict[str, int],
+    scheme: Scheme,
+    *,
+    gpu: GpuSpec = A100_SXM4_80GB,
+    model: DLRMConfig = PAPER_MODEL,
+    scale: SimScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: KernelWorkload | None = None,
+) -> InferenceResult:
+    """End-to-end DLRM inference for one batch.
+
+    ``datasets`` is either a hotness preset name (all tables homogeneous,
+    the paper's default) or a heterogeneous mix ``{name: table_count}``.
+    """
+    if isinstance(datasets, str):
+        mix = {datasets: model.num_tables}
+    else:
+        mix = dict(datasets)
+        total = sum(mix.values())
+        if total != model.num_tables:
+            raise ValueError(
+                f"mix covers {total} tables, model has {model.num_tables}"
+            )
+    if workload is None:
+        workload = kernel_workload(gpu, model, scale)
+    embedding = run_embedding_stage(workload, mix, scheme, seed=seed)
+    non_emb = non_embedding_time(gpu, model)
+    return InferenceResult(
+        scheme=scheme,
+        mix=mix,
+        embedding=embedding,
+        non_embedding=non_emb,
+    )
+
+
+def speedup(baseline: InferenceResult, candidate: InferenceResult) -> float:
+    """End-to-end speedup of ``candidate`` over ``baseline``."""
+    return baseline.batch_latency_ms / candidate.batch_latency_ms

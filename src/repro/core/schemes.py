@@ -1,0 +1,138 @@
+"""The paper's optimization schemes and their '+'-combinations.
+
+A :class:`Scheme` is the user-facing knob set: OptMT (compiler-forced
+occupancy), one software-prefetching variant, and L2 pinning, freely
+combined exactly like the paper's nomenclature (Section V):
+``RPF+L2P+OptMT`` is register prefetching plus pinning on an OptMT
+build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.gpu import GpuSpec
+from repro.kernels import calibration as cal
+from repro.kernels.compiler import (
+    PREFETCH_KINDS,
+    KernelBuild,
+    compile_kernel,
+    optmt_maxrreg,
+)
+
+_PREFETCH_TOKENS = {
+    "RPF": "register",
+    "SMPF": "shared",
+    "LMPF": "local",
+    "L1DPF": "l1d",
+}
+_TOKEN_FOR_KIND = {kind: token for token, kind in _PREFETCH_TOKENS.items()}
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A combination of the paper's three optimization families."""
+
+    prefetch: str | None = None
+    prefetch_distance: int | None = None  # None -> paper's best distance
+    l2_pinning: bool = False
+    optmt: bool = False
+    maxrregcount: int | None = None  # explicit override (WLP sweeps)
+
+    def __post_init__(self) -> None:
+        if self.prefetch is not None and self.prefetch not in PREFETCH_KINDS:
+            raise ValueError(
+                f"prefetch must be one of {PREFETCH_KINDS}, "
+                f"got {self.prefetch!r}"
+            )
+        if self.prefetch_distance is not None and self.prefetch_distance < 1:
+            raise ValueError("prefetch_distance must be >= 1")
+        if self.maxrregcount is not None and self.optmt:
+            raise ValueError("give either optmt or an explicit maxrregcount")
+
+    @property
+    def name(self) -> str:
+        parts = []
+        if self.prefetch:
+            parts.append(_TOKEN_FOR_KIND[self.prefetch])
+        if self.l2_pinning:
+            parts.append("L2P")
+        if self.optmt:
+            parts.append("OptMT")
+        if self.maxrregcount is not None:
+            parts.append(f"maxrreg{self.maxrregcount}")
+        return "+".join(parts) if parts else "base"
+
+    @classmethod
+    def parse(cls, name: str) -> "Scheme":
+        """Parse the paper's '+' nomenclature, e.g. ``"RPF+L2P+OptMT"``."""
+        if name.strip().lower() in ("", "base"):
+            return cls()
+        prefetch = None
+        pinning = False
+        optmt = False
+        for token in name.split("+"):
+            token = token.strip()
+            if token in _PREFETCH_TOKENS:
+                if prefetch is not None:
+                    raise ValueError(f"{name!r}: two prefetch schemes")
+                prefetch = _PREFETCH_TOKENS[token]
+            elif token == "L2P":
+                pinning = True
+            elif token == "OptMT":
+                optmt = True
+            else:
+                raise ValueError(f"unknown scheme token {token!r} in {name!r}")
+        return cls(prefetch=prefetch, l2_pinning=pinning, optmt=optmt)
+
+    def with_distance(self, distance: int) -> "Scheme":
+        return replace(self, prefetch_distance=distance)
+
+    def resolved_distance(self) -> int:
+        """The prefetch distance to use (paper defaults when unset)."""
+        if self.prefetch is None:
+            return 0
+        if self.prefetch_distance is not None:
+            return self.prefetch_distance
+        table = (
+            cal.PF_BEST_DISTANCE_WITH_OPTMT
+            if (self.optmt or self.maxrregcount is not None)
+            else cal.PF_BEST_DISTANCE_NO_OPTMT
+        )
+        return table[self.prefetch]
+
+    def resolved_maxrreg(self, gpu: GpuSpec) -> int | None:
+        if self.maxrregcount is not None:
+            return self.maxrregcount
+        if self.optmt:
+            return optmt_maxrreg(gpu)
+        return None
+
+    def compile(self, gpu: GpuSpec) -> KernelBuild:
+        """Compile this scheme's embedding-bag kernel for a GPU."""
+        return compile_kernel(
+            gpu,
+            prefetch=self.prefetch,
+            prefetch_distance=self.resolved_distance(),
+            maxrregcount=self.resolved_maxrreg(gpu),
+        )
+
+
+# The named schemes evaluated in the paper's figures.
+BASE = Scheme()
+OPTMT = Scheme(optmt=True)
+RPF_OPTMT = Scheme(prefetch="register", optmt=True)
+SMPF_OPTMT = Scheme(prefetch="shared", optmt=True)
+LMPF_OPTMT = Scheme(prefetch="local", optmt=True)
+L1DPF_OPTMT = Scheme(prefetch="l1d", optmt=True)
+L2P_OPTMT = Scheme(l2_pinning=True, optmt=True)
+RPF_L2P_OPTMT = Scheme(prefetch="register", l2_pinning=True, optmt=True)
+RPF = Scheme(prefetch="register")
+SMPF = Scheme(prefetch="shared")
+LMPF = Scheme(prefetch="local")
+L1DPF = Scheme(prefetch="l1d")
+L2P = Scheme(l2_pinning=True)
+SMPF_L2P = Scheme(prefetch="shared", l2_pinning=True)
+
+#: Figure 12/13/14 scheme lineup.
+FIG12_SCHEMES = (OPTMT, RPF_OPTMT, L2P_OPTMT, RPF_L2P_OPTMT)

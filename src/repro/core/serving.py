@@ -1,0 +1,159 @@
+"""Inference serving model: arrivals, batching, tail latency.
+
+The paper's motivation is SLA-bound inference serving ("arriving
+queries create batches, where each batch is expected to meet the SLA
+target", Section III-A).  This module closes that loop: a Poisson
+arrival process, a size-or-timeout batching policy, and a single-GPU
+executor whose batch latency comes from the simulated pipeline —
+yielding the p50/p95/p99 query latencies and the maximum sustainable
+load that serving papers (DeepRecSys et al., cited by the paper)
+evaluate.
+
+The executor's batch-latency function is pluggable; by default it
+interpolates between measured batch sizes so one expensive simulation
+sweep serves many load points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Collect up to ``max_batch`` queries or wait at most ``timeout_ms``."""
+
+    max_batch: int = 2048
+    timeout_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Latency distribution of one simulated serving run."""
+
+    scheme_name: str
+    qps: float
+    n_queries: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_batch_size: float
+    gpu_utilization: float
+
+    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
+        return getattr(self, f"{percentile.lower()}_ms") <= sla_ms
+
+
+def interpolated_latency_model(
+    batch_sizes: Sequence[int], latencies_ms: Sequence[float]
+) -> Callable[[int], float]:
+    """Piecewise-linear batch-latency model from measured points."""
+    sizes = np.asarray(batch_sizes, dtype=float)
+    lats = np.asarray(latencies_ms, dtype=float)
+    if len(sizes) != len(lats) or len(sizes) < 1:
+        raise ValueError("need matching, non-empty calibration points")
+    order = np.argsort(sizes)
+    sizes, lats = sizes[order], lats[order]
+
+    def model(batch: int) -> float:
+        return float(np.interp(batch, sizes, lats))
+
+    return model
+
+
+def simulate_serving(
+    batch_latency_ms: Callable[[int], float],
+    *,
+    qps: float,
+    duration_s: float = 10.0,
+    policy: BatchingPolicy | None = None,
+    scheme_name: str = "scheme",
+    seed: int = 0,
+) -> ServingReport:
+    """Discrete-event simulation of one GPU serving a Poisson stream.
+
+    Queries arrive at ``qps``; the batcher dispatches when ``max_batch``
+    queries are waiting or the oldest has waited ``timeout_ms``; the GPU
+    serves batches back to back.  Query latency = queueing + batching
+    wait + batch execution.
+    """
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    policy = policy or BatchingPolicy()
+    rng = np.random.default_rng(seed)
+    n = max(1, int(qps * duration_s))
+    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
+
+    latencies = np.empty(n)
+    gpu_free = 0.0
+    busy = 0.0
+    batch_sizes = []
+    i = 0
+    while i < n:
+        first_arrival = arrivals[i]
+        # the batch closes when full or when the first query times out
+        close_by = first_arrival + policy.timeout_ms / 1e3
+        j = i
+        while (
+            j + 1 < n
+            and j + 1 - i < policy.max_batch
+            and arrivals[j + 1] <= max(close_by, gpu_free)
+        ):
+            j += 1
+        batch = j - i + 1
+        start = max(arrivals[j], min(close_by, max(close_by, gpu_free)),
+                    gpu_free)
+        exec_s = batch_latency_ms(batch) / 1e3
+        done = start + exec_s
+        latencies[i:j + 1] = done - arrivals[i:j + 1]
+        busy += exec_s
+        gpu_free = done
+        batch_sizes.append(batch)
+        i = j + 1
+
+    latencies_ms = latencies * 1e3
+    horizon = max(gpu_free, arrivals[-1])
+    return ServingReport(
+        scheme_name=scheme_name,
+        qps=qps,
+        n_queries=n,
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p95_ms=float(np.percentile(latencies_ms, 95)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        mean_batch_size=float(np.mean(batch_sizes)),
+        gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
+    )
+
+
+def max_sustainable_qps(
+    batch_latency_ms: Callable[[int], float],
+    *,
+    sla_ms: float,
+    percentile: str = "p99",
+    qps_grid: Sequence[float] = (500, 1000, 2000, 4000, 8000, 16000,
+                                 32000, 64000),
+    policy: BatchingPolicy | None = None,
+    scheme_name: str = "scheme",
+    seed: int = 0,
+) -> tuple[float, list[ServingReport]]:
+    """Largest grid point whose tail latency meets the SLA."""
+    best = 0.0
+    reports = []
+    for qps in qps_grid:
+        report = simulate_serving(
+            batch_latency_ms, qps=qps, policy=policy,
+            scheme_name=scheme_name, seed=seed,
+        )
+        reports.append(report)
+        if report.meets_sla(sla_ms, percentile):
+            best = max(best, qps)
+    return best, reports

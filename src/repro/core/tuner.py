@@ -1,0 +1,258 @@
+"""The paper's Static Profiling Framework (Section VII, Discussion).
+
+A design-space exploration that reproduces the seven-step recipe the
+authors propose for adopting their optimizations on any memory-bound
+kernel:
+
+  (i)    check whether the kernel is memory-latency bound,
+  (ii)   check whether occupancy is at the hardware maximum,
+  (iii)  if register-limited, sweep ``-maxrregcount`` to find OptMT,
+  (iv)   re-check the latency-bound diagnosis on the OptMT build,
+  (v)    check for pinning opportunity (reuse + footprint vs. L2),
+  (vi)   if bandwidth headroom remains, sweep prefetch buffers and
+         distances,
+  (vii)  combine pinning and prefetching.
+
+Every step records its evidence so the report doubles as the paper's
+"microarchitectural justification" tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.embedding import (
+    KernelWorkload,
+    TableKernelResult,
+    kernel_workload,
+    run_table_kernel,
+)
+from repro.core.schemes import Scheme
+from repro.datasets.analysis import coverage_at
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import DatasetSpec
+from repro.gpusim.occupancy import max_regs_for_warps
+from repro.kernels.compiler import PREFETCH_KINDS
+from repro.kernels.pinning import pinnable_rows
+
+#: Bandwidth utilization above which prefetching is ruled out (step vi).
+BW_SATURATION_PCT = 80.0
+
+#: Long-scoreboard stalls per instruction above which the kernel is
+#: called latency-bound (step i).
+LATENCY_BOUND_STALL_THRESHOLD = 2.0
+
+#: Minimum access coverage by the pinnable row set for L2P to pay off.
+PIN_COVERAGE_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class TuningStep:
+    step: str
+    decision: str
+    evidence: dict[str, float | int | str | bool]
+
+
+@dataclass
+class TuningReport:
+    """The framework's decision trail plus the chosen scheme."""
+
+    dataset: str
+    steps: list[TuningStep] = field(default_factory=list)
+    baseline: TableKernelResult | None = None
+    final: TableKernelResult | None = None
+    scheme: Scheme = Scheme()
+
+    @property
+    def speedup(self) -> float:
+        if not self.baseline or not self.final:
+            return 1.0
+        return (
+            self.baseline.profile.kernel_time_us
+            / self.final.profile.kernel_time_us
+        )
+
+    def describe(self) -> str:
+        lines = [f"Static profiling framework: dataset={self.dataset}"]
+        for s in self.steps:
+            lines.append(f"  [{s.step}] {s.decision}")
+            for key, value in s.evidence.items():
+                if isinstance(value, float):
+                    lines.append(f"      {key} = {value:.3f}")
+                else:
+                    lines.append(f"      {key} = {value}")
+        lines.append(
+            f"  => scheme: {self.scheme.name}  "
+            f"(speedup {self.speedup:.2f}x over base)"
+        )
+        return "\n".join(lines)
+
+
+def _is_latency_bound(result: TableKernelResult) -> tuple[bool, dict]:
+    profile = result.profile
+    evidence = {
+        "long_scoreboard_stall_per_inst": profile.long_scoreboard_stall,
+        "hbm_bw_util_pct": profile.hbm_bw_util_pct,
+        "l1_hit_pct": profile.l1_hit_pct,
+        "l2_hit_pct": profile.l2_hit_pct,
+    }
+    bound = (
+        profile.long_scoreboard_stall > LATENCY_BOUND_STALL_THRESHOLD
+        and profile.hbm_bw_util_pct < BW_SATURATION_PCT
+    )
+    return bound, evidence
+
+
+def autotune(
+    spec: DatasetSpec,
+    *,
+    workload: KernelWorkload | None = None,
+    seed: int = 0,
+    warp_targets: tuple[int, ...] = (24, 32, 40, 48, 64),
+    distances: tuple[int, ...] = (1, 2, 4, 6, 10),
+    buffers: tuple[str, ...] = PREFETCH_KINDS,
+) -> TuningReport:
+    """Run the seven-step framework for one dataset; returns the report."""
+    if workload is None:
+        workload = kernel_workload()
+    report = TuningReport(dataset=spec.name)
+    gpu = workload.gpu
+    trace = generate_trace(
+        spec,
+        batch_size=workload.batch_size,
+        pooling_factor=workload.pooling_factor,
+        table_rows=workload.table_rows,
+        seed=seed,
+    )
+
+    def run(scheme: Scheme) -> TableKernelResult:
+        return run_table_kernel(
+            workload, spec, scheme, seed=seed, trace=trace
+        )
+
+    # (i) is the stock kernel memory-latency bound?
+    base = run(Scheme())
+    report.baseline = base
+    bound, evidence = _is_latency_bound(base)
+    report.steps.append(TuningStep(
+        "i: latency-bound check",
+        "memory-latency bound" if bound else "not latency bound",
+        evidence,
+    ))
+    if not bound:
+        report.final = base
+        return report
+
+    # (ii) occupancy at hardware maximum?
+    occupancy = base.build.warps_per_sm
+    at_max = occupancy >= gpu.max_warps_per_sm
+    report.steps.append(TuningStep(
+        "ii: occupancy check",
+        "occupancy already maximal" if at_max
+        else f"register-limited at {occupancy}/{gpu.max_warps_per_sm} warps",
+        {"warps_per_sm": occupancy,
+         "regs_per_thread": base.build.allocated_regs},
+    ))
+
+    # (iii) sweep -maxrregcount for the OptMT point.
+    best = base
+    best_scheme = Scheme()
+    if not at_max:
+        sweep_evidence: dict[str, float | int | str | bool] = {}
+        for target in warp_targets:
+            if target <= occupancy or target > gpu.max_warps_per_sm:
+                continue
+            cap = max_regs_for_warps(gpu, target)
+            candidate_scheme = Scheme(maxrregcount=cap)
+            candidate = run(candidate_scheme)
+            sweep_evidence[f"time_us@{target}w"] = round(
+                candidate.profile.kernel_time_us, 1
+            )
+            if candidate.profile.kernel_time_us \
+                    < best.profile.kernel_time_us:
+                best = candidate
+                best_scheme = candidate_scheme
+        report.steps.append(TuningStep(
+            "iii: maxrregcount sweep",
+            f"OptMT at {best.build.warps_per_sm} warps "
+            f"(maxrreg={best_scheme.maxrregcount})"
+            if best is not base else "no WLP gain; keeping stock registers",
+            sweep_evidence,
+        ))
+
+    # (iv) still latency bound after OptMT?
+    bound, evidence = _is_latency_bound(best)
+    report.steps.append(TuningStep(
+        "iv: post-OptMT latency check",
+        "still latency bound" if bound else "latency hidden by WLP",
+        evidence,
+    ))
+    if not bound:
+        report.final = best
+        report.scheme = best_scheme
+        return report
+
+    # (v) pinning opportunity: reuse concentrated enough to pin?
+    set_aside = gpu.l2_set_aside_bytes
+    k = pinnable_rows(set_aside, workload.row_bytes)
+    pin_pct = 100.0 * min(1.0, k / max(1, trace.n_unique))
+    cov = coverage_at(trace, min(100.0, pin_pct)) / 100.0
+    use_pinning = cov > PIN_COVERAGE_THRESHOLD
+    report.steps.append(TuningStep(
+        "v: L2 pinning check",
+        "pinning applicable" if use_pinning else "insufficient reuse",
+        {"pinnable_rows": k, "unique_rows": trace.n_unique,
+         "pinnable_coverage": cov},
+    ))
+
+    # (vi) bandwidth headroom -> prefetch sweep.
+    use_prefetch = best.profile.hbm_bw_util_pct < BW_SATURATION_PCT
+    pf_kind: str | None = None
+    pf_distance = 0
+    if use_prefetch:
+        sweep_evidence = {}
+        best_pf_time = best.profile.kernel_time_us
+        for kind in buffers:
+            for distance in distances:
+                scheme = Scheme(
+                    prefetch=kind,
+                    prefetch_distance=distance,
+                    maxrregcount=best_scheme.maxrregcount,
+                )
+                try:
+                    candidate = run(scheme)
+                except ValueError:  # occupancy collapsed to zero
+                    continue
+                key = f"{kind}@d{distance}"
+                sweep_evidence[key] = round(
+                    candidate.profile.kernel_time_us, 1
+                )
+                if candidate.profile.kernel_time_us < best_pf_time:
+                    best_pf_time = candidate.profile.kernel_time_us
+                    pf_kind, pf_distance = kind, distance
+        report.steps.append(TuningStep(
+            "vi: prefetch sweep",
+            f"prefetch {pf_kind} at distance {pf_distance}"
+            if pf_kind else "no prefetch variant improved",
+            sweep_evidence,
+        ))
+
+    # (vii) combine everything that helped.
+    final_scheme = Scheme(
+        prefetch=pf_kind,
+        prefetch_distance=pf_distance if pf_kind else None,
+        l2_pinning=use_pinning,
+        maxrregcount=best_scheme.maxrregcount,
+    )
+    final = run(final_scheme)
+    if final.profile.kernel_time_us > best.profile.kernel_time_us:
+        final, final_scheme = best, best_scheme
+    report.steps.append(TuningStep(
+        "vii: combined scheme",
+        final_scheme.name,
+        {"final_time_us": round(final.profile.kernel_time_us, 1),
+         "base_time_us": round(base.profile.kernel_time_us, 1)},
+    ))
+    report.final = final
+    report.scheme = final_scheme
+    return report

@@ -1,0 +1,52 @@
+"""Synthetic embedding access traces with controlled hotness."""
+
+from repro.datasets.analysis import (
+    access_counts,
+    coverage_at,
+    coverage_curve,
+    top_hot_rows,
+    unique_access_pct,
+    working_set_bytes,
+)
+from repro.datasets.generator import (
+    fit_zipf_exponent,
+    generate_tables,
+    generate_trace,
+)
+from repro.datasets.graph import barabasi_albert_trace, csr_trace
+from repro.datasets.spec import (
+    EVAL_PRESETS,
+    HIGH_HOT,
+    HOTNESS_PRESETS,
+    LOW_HOT,
+    MED_HOT,
+    ONE_ITEM,
+    RANDOM,
+    TABLE_MIXES,
+    DatasetSpec,
+)
+from repro.datasets.trace import EmbeddingTrace
+
+__all__ = [
+    "DatasetSpec",
+    "EVAL_PRESETS",
+    "EmbeddingTrace",
+    "HIGH_HOT",
+    "HOTNESS_PRESETS",
+    "LOW_HOT",
+    "MED_HOT",
+    "ONE_ITEM",
+    "RANDOM",
+    "TABLE_MIXES",
+    "access_counts",
+    "barabasi_albert_trace",
+    "coverage_at",
+    "csr_trace",
+    "coverage_curve",
+    "fit_zipf_exponent",
+    "generate_tables",
+    "generate_trace",
+    "top_hot_rows",
+    "unique_access_pct",
+    "working_set_bytes",
+]

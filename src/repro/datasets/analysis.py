@@ -1,0 +1,62 @@
+"""Trace statistics: the paper's two dataset metrics.
+
+* ``unique_access_pct`` — Table III.
+* ``coverage_curve`` — Figure 5: percentage of total accesses covered by
+  the top x% most frequently accessed unique rows.
+* ``top_hot_rows`` — the offline profiling step of L2 pinning (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.trace import EmbeddingTrace
+
+
+def unique_access_pct(trace: EmbeddingTrace) -> float:
+    return trace.unique_access_pct
+
+
+def access_counts(trace: EmbeddingTrace) -> tuple[np.ndarray, np.ndarray]:
+    """Rows and their access counts, sorted by count descending."""
+    rows, counts = np.unique(trace.indices, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    return rows[order], counts[order]
+
+
+def coverage_curve(
+    trace: EmbeddingTrace, points: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coverage study (Figure 5).
+
+    Returns ``(pct_unique, pct_accesses)``: for each percentage of unique
+    rows (10%, 20%, ... by default), the percentage of total accesses
+    those most-popular rows account for.
+    """
+    _, counts = access_counts(trace)
+    cumulative = np.cumsum(counts)
+    total = cumulative[-1]
+    pct_unique = np.linspace(100.0 / points, 100.0, points)
+    take = np.maximum(
+        1, np.round(pct_unique / 100.0 * len(counts)).astype(int)
+    )
+    pct_accesses = 100.0 * cumulative[take - 1] / total
+    return pct_unique, pct_accesses
+
+
+def coverage_at(trace: EmbeddingTrace, pct_unique: float) -> float:
+    """Coverage (% of accesses) of the top ``pct_unique``% unique rows."""
+    _, counts = access_counts(trace)
+    k = max(1, int(round(pct_unique / 100.0 * len(counts))))
+    return float(100.0 * counts[:k].sum() / counts.sum())
+
+
+def top_hot_rows(trace: EmbeddingTrace, k: int) -> np.ndarray:
+    """The ``k`` most frequently accessed rows (L2P profiling, Fig. 10)."""
+    rows, _ = access_counts(trace)
+    return rows[:k]
+
+
+def working_set_bytes(trace: EmbeddingTrace, row_bytes: int) -> int:
+    """Bytes of distinct embedding data the trace touches."""
+    return trace.n_unique * row_bytes

@@ -1,0 +1,160 @@
+"""Synthetic embedding-trace generation with controlled hotness.
+
+Given a :class:`~repro.datasets.spec.DatasetSpec`, a batch size, a pooling
+factor and a table size, produce an :class:`EmbeddingTrace` whose unique
+access percentage matches the spec (exactly, for zipf datasets) and whose
+coverage curve matches the spec's top-10% anchor.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.trace import EmbeddingTrace
+
+
+def _layout_seed(spec: DatasetSpec, table_rows: int) -> int:
+    """Seed for the *row layout* (which physical rows are hot).
+
+    Item popularity is a property of the catalogue, not of one batch:
+    two batches drawn from the same dataset hit the same hot rows.  The
+    layout therefore depends only on the dataset and table, while the
+    per-batch ``seed`` controls the access sequence.  This is what makes
+    the paper's offline L2P profiling (Figure 10) meaningful.
+    """
+    return zlib.crc32(f"{spec.name}:{table_rows}".encode())
+
+
+def fit_zipf_exponent(
+    n_unique: int, top_fraction: float, target_coverage: float
+) -> float:
+    """Find the Zipf exponent whose top ``top_fraction`` of ``n_unique``
+    ranked items covers ``target_coverage`` of the probability mass."""
+    if n_unique < 2:
+        return 0.0
+    k = max(1, int(round(top_fraction * n_unique)))
+    ranks = np.arange(1, n_unique + 1, dtype=np.float64)
+
+    def coverage(s: float) -> float:
+        weights = ranks ** -s
+        return float(weights[:k].sum() / weights.sum())
+
+    lo, hi = 0.0, 8.0
+    if coverage(hi) < target_coverage:
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if coverage(mid) < target_coverage:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def _zipf_counts(n_unique: int, total: int, exponent: float) -> np.ndarray:
+    """Integer access counts per ranked item: Zipf weights, largest-remainder
+    rounding, and a floor of one access per item so uniqueness is exact."""
+    if n_unique > total:
+        raise ValueError("cannot have more unique items than accesses")
+    ranks = np.arange(1, n_unique + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    weights /= weights.sum()
+    ideal = weights * (total - n_unique)  # reserve 1 access per item
+    counts = np.floor(ideal).astype(np.int64)
+    remainder = int((total - n_unique) - counts.sum())
+    if remainder > 0:
+        # Give leftover accesses to the largest fractional parts.
+        frac = ideal - counts
+        top = np.argpartition(frac, -remainder)[-remainder:]
+        counts[top] += 1
+    return counts + 1
+
+
+def generate_trace(
+    spec: DatasetSpec,
+    *,
+    batch_size: int,
+    pooling_factor: int,
+    table_rows: int,
+    seed: int = 0,
+) -> EmbeddingTrace:
+    """Generate one table's trace for the given dataset spec."""
+    if batch_size <= 0 or pooling_factor <= 0 or table_rows <= 0:
+        raise ValueError("batch_size, pooling_factor, table_rows must be > 0")
+    total = batch_size * pooling_factor
+    rng = np.random.default_rng(seed)
+    layout_rng = np.random.default_rng(_layout_seed(spec, table_rows))
+
+    if spec.kind == "one_item":
+        row = int(layout_rng.integers(table_rows))
+        indices = np.full(total, row, dtype=np.int64)
+    elif spec.kind == "uniform":
+        # Uniform over a pool equal to the access count reproduces the
+        # paper's 63.21% unique accesses (1 - 1/e); see spec module docs.
+        pool = min(table_rows, total)
+        pool_rows = _distinct_rows(layout_rng, pool, table_rows)
+        indices = pool_rows[rng.integers(0, pool, size=total)]
+    else:  # zipf
+        n_unique = max(1, min(total, int(round(
+            spec.unique_access_pct / 100.0 * total))))
+        n_unique = min(n_unique, table_rows)
+        # _zipf_counts guarantees one access per unique row (so the
+        # uniqueness target is exact); only the remaining mass follows
+        # the Zipf law.  Compensate the fitted coverage target for that
+        # uniform floor so the *realized* top-10% coverage matches.
+        floor_fraction = n_unique / total
+        zipf_fraction = max(1e-9, 1.0 - floor_fraction)
+        adjusted = (spec.top10_coverage - 0.10 * floor_fraction) \
+            / zipf_fraction
+        adjusted = min(1.0, max(0.10, adjusted))
+        exponent = fit_zipf_exponent(n_unique, 0.10, adjusted)
+        counts = _zipf_counts(n_unique, total, exponent)
+        rows = _distinct_rows(layout_rng, n_unique, table_rows)
+        indices = np.repeat(rows, counts)
+        rng.shuffle(indices)
+
+    offsets = np.arange(batch_size + 1, dtype=np.int64) * pooling_factor
+    return EmbeddingTrace(
+        name=spec.name,
+        indices=indices.astype(np.int64),
+        offsets=offsets,
+        table_rows=table_rows,
+    )
+
+
+def generate_tables(
+    spec: DatasetSpec,
+    *,
+    num_tables: int,
+    batch_size: int,
+    pooling_factor: int,
+    table_rows: int,
+    seed: int = 0,
+) -> list[EmbeddingTrace]:
+    """Generate independent traces for ``num_tables`` homogeneous tables."""
+    return [
+        generate_trace(
+            spec,
+            batch_size=batch_size,
+            pooling_factor=pooling_factor,
+            table_rows=table_rows,
+            seed=seed + 7919 * t,
+        )
+        for t in range(num_tables)
+    ]
+
+
+def _distinct_rows(
+    rng: np.random.Generator, count: int, table_rows: int
+) -> np.ndarray:
+    """Sample ``count`` distinct row ids spread across the table."""
+    if count > table_rows:
+        raise ValueError("more distinct rows requested than the table holds")
+    if count == table_rows:
+        rows = np.arange(table_rows, dtype=np.int64)
+    else:
+        rows = rng.choice(table_rows, size=count, replace=False)
+    return rows.astype(np.int64)

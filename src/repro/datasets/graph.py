@@ -1,0 +1,75 @@
+"""Graph neighbor-aggregation workloads (paper Section VII,
+Generalizability).
+
+The paper argues its schemes "can be generally applied to a wide range
+of memory-bound kernels", naming graph neural networks.  A GNN layer's
+neighbor aggregation *is* a gather-reduce: for each vertex, gather the
+feature rows of its neighbors and reduce them — an embedding bag whose
+offsets are the CSR row pointers and whose indices are the column ids,
+with a *variable* pooling factor (the degree distribution).
+
+This module converts scale-free graphs into :class:`EmbeddingTrace`
+objects so the entire scheme stack (OptMT, prefetching, pinning, the
+auto-tuner) applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.trace import EmbeddingTrace
+
+
+def barabasi_albert_trace(
+    *,
+    num_vertices: int,
+    attachment: int = 4,
+    batch_vertices: int | None = None,
+    seed: int = 0,
+    name: str = "graph_ba",
+) -> EmbeddingTrace:
+    """Neighbor-gather trace of a Barabási–Albert scale-free graph.
+
+    Each "sample" is a vertex whose bag contains its out-neighbors;
+    hub vertices give the same power-law reuse that makes L2 pinning
+    effective on DLRM traces.  ``batch_vertices`` limits the layer to
+    the first vertices (a mini-batched GNN layer).
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover
+        raise RuntimeError("graph workloads need networkx") from exc
+    if attachment < 1 or num_vertices <= attachment:
+        raise ValueError("need num_vertices > attachment >= 1")
+    graph = nx.barabasi_albert_graph(num_vertices, attachment, seed=seed)
+    batch = batch_vertices or num_vertices
+    batch = min(batch, num_vertices)
+    offsets = [0]
+    indices: list[int] = []
+    for vertex in range(batch):
+        neighbors = sorted(graph.adj[vertex])
+        indices.extend(neighbors)
+        offsets.append(len(indices))
+    return EmbeddingTrace(
+        name=name,
+        indices=np.asarray(indices, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        table_rows=num_vertices,
+    )
+
+
+def csr_trace(
+    indptr: np.ndarray,
+    col_indices: np.ndarray,
+    num_rows_in_table: int,
+    *,
+    name: str = "graph_csr",
+) -> EmbeddingTrace:
+    """Wrap any CSR adjacency (or sparse matrix) as a gather trace —
+    the SpMV/graph-mining path the paper's discussion points at."""
+    return EmbeddingTrace(
+        name=name,
+        indices=np.asarray(col_indices, dtype=np.int64),
+        offsets=np.asarray(indptr, dtype=np.int64),
+        table_rows=num_rows_in_table,
+    )

@@ -1,0 +1,60 @@
+"""Dataset (memory access pattern) specifications.
+
+The paper characterizes its five datasets — extracted from Meta's
+homogenized production traces — purely by two statistics:
+
+* **unique access %** (Table III): distinct rows touched / total accesses,
+* **coverage curve** (Figure 5): fraction of total accesses covered by the
+  top x% most popular unique rows (e.g. for ``high_hot`` the top 10% of
+  unique rows cover 68% of all accesses).
+
+We synthesize traces to those statistics: ``one_item`` points every access
+at one row, ``random`` draws uniformly from a pool equal to the access
+count (which yields 1 - 1/e = 63.2% unique, matching Table III), and the
+hot datasets draw from a Zipf-shaped popularity whose exponent is fitted
+to the coverage anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistical description of one access-pattern dataset."""
+
+    name: str
+    kind: str  # "one_item" | "uniform" | "zipf"
+    unique_access_pct: float
+    #: Fraction of total accesses covered by the top 10% unique rows
+    #: (only meaningful for kind == "zipf").
+    top10_coverage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("one_item", "uniform", "zipf"):
+            raise ValueError(f"unknown dataset kind {self.kind!r}")
+        if self.kind == "zipf" and not 0.1 <= self.top10_coverage <= 1.0:
+            raise ValueError("zipf datasets need a top10_coverage in (0.1, 1]")
+
+
+ONE_ITEM = DatasetSpec("one_item", "one_item", unique_access_pct=0.0002)
+HIGH_HOT = DatasetSpec("high_hot", "zipf", 4.05, top10_coverage=0.68)
+MED_HOT = DatasetSpec("med_hot", "zipf", 20.50, top10_coverage=0.45)
+LOW_HOT = DatasetSpec("low_hot", "zipf", 46.21, top10_coverage=0.22)
+RANDOM = DatasetSpec("random", "uniform", unique_access_pct=63.21)
+
+#: Order used throughout the paper's figures (hotness decreasing).
+HOTNESS_PRESETS = {
+    spec.name: spec for spec in (ONE_ITEM, HIGH_HOT, MED_HOT, LOW_HOT, RANDOM)
+}
+
+#: The four datasets evaluated in the speedup figures (Fig. 12 onwards).
+EVAL_PRESETS = ("high_hot", "med_hot", "low_hot", "random")
+
+#: Heterogeneous table mixtures (Table VII): dataset name -> table count.
+TABLE_MIXES = {
+    "Mix1": {"high_hot": 100, "med_hot": 75, "low_hot": 50, "random": 25},
+    "Mix2": {"high_hot": 62, "med_hot": 63, "low_hot": 63, "random": 62},
+    "Mix3": {"high_hot": 25, "med_hot": 50, "low_hot": 75, "random": 100},
+}

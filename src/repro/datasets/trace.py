@@ -1,0 +1,79 @@
+"""Embedding access trace container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmbeddingTrace:
+    """One table's access trace in embedding-bag layout.
+
+    ``offsets`` has ``batch_size + 1`` entries; sample ``i`` gathers rows
+    ``indices[offsets[i]:offsets[i + 1]]`` and sum-reduces them — exactly
+    the layout PyTorch's ``EmbeddingBag`` consumes.
+    """
+
+    name: str
+    indices: np.ndarray
+    offsets: np.ndarray
+    table_rows: int
+
+    def __post_init__(self) -> None:
+        if self.offsets.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indices and offsets must be 1-D arrays")
+        if len(self.offsets) < 2:
+            raise ValueError("offsets must describe at least one sample")
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.indices):
+            raise ValueError("offsets must start at 0 and end at len(indices)")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.table_rows
+        ):
+            raise ValueError("indices out of table range")
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.indices)
+
+    @property
+    def n_unique(self) -> int:
+        return len(np.unique(self.indices))
+
+    @property
+    def unique_access_pct(self) -> float:
+        """Distinct rows touched as a percentage of total accesses."""
+        if self.n_accesses == 0:
+            return 0.0
+        return 100.0 * self.n_unique / self.n_accesses
+
+    def pooling_factors(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def sample_rows(self, sample: int) -> np.ndarray:
+        return self.indices[self.offsets[sample]:self.offsets[sample + 1]]
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            name=np.array(self.name),
+            indices=self.indices,
+            offsets=self.offsets,
+            table_rows=np.array(self.table_rows),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingTrace":
+        data = np.load(path, allow_pickle=False)
+        return cls(
+            name=str(data["name"]),
+            indices=data["indices"],
+            offsets=data["offsets"],
+            table_rows=int(data["table_rows"]),
+        )

@@ -1,0 +1,37 @@
+"""Functional (numpy) DLRM model and non-embedding timing."""
+
+from repro.dlrm.embedding import embedding_bag, embedding_bag_reference
+from repro.dlrm.inference import make_batch, serve_topk
+from repro.dlrm.interaction import dot_interaction, interaction_output_dim
+from repro.dlrm.mlp import MLP, relu, sigmoid
+from repro.dlrm.model import DLRM, Batch
+from repro.dlrm.timing import (
+    KERNEL_LAUNCH_US,
+    NonEmbeddingTiming,
+    gemm_roofline_us,
+    input_transfer_us,
+    interaction_us,
+    mlp_us,
+    non_embedding_time,
+)
+
+__all__ = [
+    "Batch",
+    "DLRM",
+    "KERNEL_LAUNCH_US",
+    "MLP",
+    "NonEmbeddingTiming",
+    "dot_interaction",
+    "embedding_bag",
+    "embedding_bag_reference",
+    "gemm_roofline_us",
+    "input_transfer_us",
+    "interaction_output_dim",
+    "interaction_us",
+    "make_batch",
+    "mlp_us",
+    "non_embedding_time",
+    "relu",
+    "serve_topk",
+    "sigmoid",
+]

@@ -1,0 +1,70 @@
+"""Functional (numpy) embedding-bag operator.
+
+The numerical reference for what the simulated CUDA kernel computes:
+per sample, gather the rows listed in ``indices[offsets[i]:offsets[i+1]]``
+and reduce them (sum or mean) — PyTorch's ``EmbeddingBag`` semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def embedding_bag(
+    table: np.ndarray,
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    mode: str = "sum",
+) -> np.ndarray:
+    """Gather-reduce one table for a batch.
+
+    ``table`` is ``[rows, dim]``; returns ``[batch, dim]`` where batch is
+    ``len(offsets) - 1``.  Empty bags reduce to zeros.
+    """
+    if mode not in ("sum", "mean"):
+        raise ValueError(f"mode must be 'sum' or 'mean', got {mode!r}")
+    if table.ndim != 2:
+        raise ValueError("table must be 2-D [rows, dim]")
+    offsets = np.asarray(offsets)
+    indices = np.asarray(indices)
+    if offsets[0] != 0 or offsets[-1] != len(indices):
+        raise ValueError("offsets must start at 0 and end at len(indices)")
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("offsets must be non-decreasing")
+
+    batch = len(offsets) - 1
+    out = np.zeros((batch, table.shape[1]), dtype=table.dtype)
+    if len(indices) == 0:
+        return out
+
+    gathered = table[indices]
+    counts = np.diff(offsets)
+    nonempty = counts > 0
+    # reduceat mishandles empty segments; reduce only non-empty bags.
+    starts = offsets[:-1][nonempty]
+    if len(starts):
+        out[nonempty] = np.add.reduceat(gathered, starts, axis=0)
+    if mode == "mean":
+        safe = np.maximum(counts, 1)[:, None]
+        out = out / safe
+    return out
+
+
+def embedding_bag_reference(
+    table: np.ndarray,
+    indices: np.ndarray,
+    offsets: np.ndarray,
+    mode: str = "sum",
+) -> np.ndarray:
+    """Slow loop implementation used to cross-check the vectorized op."""
+    batch = len(offsets) - 1
+    out = np.zeros((batch, table.shape[1]), dtype=table.dtype)
+    for i in range(batch):
+        rows = indices[offsets[i]:offsets[i + 1]]
+        if len(rows) == 0:
+            continue
+        acc = table[rows].sum(axis=0)
+        if mode == "mean":
+            acc = acc / len(rows)
+        out[i] = acc
+    return out

@@ -1,0 +1,41 @@
+"""Batch construction and functional inference helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.model import DLRMConfig
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import DatasetSpec
+from repro.dlrm.model import DLRM, Batch
+
+
+def make_batch(
+    config: DLRMConfig, spec: DatasetSpec, *, seed: int = 0
+) -> Batch:
+    """Build a functional inference batch whose categorical accesses
+    follow the given hotness spec (one independent trace per table)."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(
+        0.0, 1.0, size=(config.batch_size, config.dense_features)
+    ).astype(np.float32)
+    tables = [
+        generate_trace(
+            spec,
+            batch_size=config.batch_size,
+            pooling_factor=config.pooling_factor,
+            table_rows=config.table.rows,
+            seed=seed + 31 * t,
+        )
+        for t in range(config.num_tables)
+    ]
+    return Batch(dense=dense, tables=tables)
+
+
+def serve_topk(
+    model: DLRM, batch: Batch, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One serving decision: (top-k sample indices, their CTRs)."""
+    ctr = model.forward(batch)
+    top = model.predict_topk(batch, k)
+    return top, ctr[top]

@@ -1,0 +1,43 @@
+"""The DLRM feature-interaction stage (Figure 2).
+
+Combines the bottom-MLP output with the per-table embedding outputs by
+pairwise dot products (the DLRM "dot" interaction), concatenating the
+dense vector with the upper triangle of the interaction matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interaction_output_dim(num_tables: int, dim: int) -> int:
+    """Output width: dense vector + upper triangle of (tables+1)^2 dots."""
+    n = num_tables + 1
+    return dim + n * (n - 1) // 2
+
+
+def dot_interaction(
+    bottom_out: np.ndarray, embedding_outs: list[np.ndarray]
+) -> np.ndarray:
+    """Pairwise-dot feature interaction.
+
+    ``bottom_out`` is ``[batch, dim]``; each embedding output likewise.
+    Returns ``[batch, dim + C(n, 2)]`` with ``n = len(embedding_outs)+1``.
+    """
+    if not embedding_outs:
+        raise ValueError("interaction needs at least one embedding output")
+    dim = bottom_out.shape[1]
+    for i, emb in enumerate(embedding_outs):
+        if emb.shape != bottom_out.shape:
+            raise ValueError(
+                f"embedding output {i} shape {emb.shape} != "
+                f"bottom output shape {bottom_out.shape}"
+            )
+    features = np.stack([bottom_out, *embedding_outs], axis=1)  # [B, n, d]
+    grams = np.einsum("bnd,bmd->bnm", features, features)
+    n = features.shape[1]
+    iu, ju = np.triu_indices(n, k=1)
+    dots = grams[:, iu, ju]  # [B, C(n, 2)]
+    out = np.concatenate([bottom_out, dots], axis=1)
+    assert out.shape[1] == interaction_output_dim(len(embedding_outs), dim)
+    return out

@@ -1,0 +1,72 @@
+"""Functional multi-layer perceptron used by the DLRM's dense stages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class MLP:
+    """A dense ReLU MLP with an optional final activation.
+
+    ``dims`` is the full layer-size chain including the input dim, e.g.
+    the paper's bottom MLP is ``(1024, 512, 128, 128)``.
+    """
+
+    def __init__(
+        self,
+        dims: tuple[int, ...],
+        *,
+        seed: int = 0,
+        final_activation: str | None = None,
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("an MLP needs at least input and output dims")
+        if final_activation not in (None, "relu", "sigmoid"):
+            raise ValueError(f"unknown activation {final_activation!r}")
+        rng = np.random.default_rng(seed)
+        self.dims = tuple(dims)
+        self.final_activation = final_activation
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims, dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization
+            self.weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out))
+                .astype(np.float32)
+            )
+            self.biases.append(np.zeros(fan_out, dtype=np.float32))
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.dims[0]:
+            raise ValueError(
+                f"input dim {x.shape[-1]} != MLP input {self.dims[0]}"
+            )
+        out = x
+        last = self.n_layers - 1
+        for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
+            out = out @ w + b
+            if layer < last:
+                out = relu(out)
+            elif self.final_activation == "relu":
+                out = relu(out)
+            elif self.final_activation == "sigmoid":
+                out = sigmoid(out)
+        return out
+
+    __call__ = forward
+
+    def parameter_count(self) -> int:
+        return sum(w.size + b.size for w, b in
+                   zip(self.weights, self.biases))

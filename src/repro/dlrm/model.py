@@ -1,0 +1,92 @@
+"""Functional DLRM: embedding tables + MLPs + interaction + CTR head.
+
+This is the numerical model (Figure 2): continuous features flow
+through the bottom MLP, categorical features through the embedding
+stage, outputs meet in the dot interaction and the top MLP emits a
+click-through-rate per sample.  It exists to pin down *what* the
+simulated kernels compute; the timing model lives in
+:mod:`repro.dlrm.timing` and :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.model import DLRMConfig
+from repro.datasets.trace import EmbeddingTrace
+from repro.dlrm.embedding import embedding_bag
+from repro.dlrm.interaction import dot_interaction, interaction_output_dim
+from repro.dlrm.mlp import MLP
+
+#: Guard against accidentally materializing the paper's 60 GB model.
+_MAX_FUNCTIONAL_PARAMS = 200_000_000
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One inference batch: dense features plus one trace per table."""
+
+    dense: np.ndarray
+    tables: list[EmbeddingTrace]
+
+    @property
+    def batch_size(self) -> int:
+        return self.dense.shape[0]
+
+
+class DLRM:
+    """A runnable DLRM with real weights (use small configs)."""
+
+    def __init__(self, config: DLRMConfig, *, seed: int = 0) -> None:
+        emb_params = config.num_tables * config.table.rows * config.table.dim
+        if emb_params > _MAX_FUNCTIONAL_PARAMS:
+            raise ValueError(
+                "functional model too large to materialize "
+                f"({emb_params / 1e6:.0f}M embedding parameters); "
+                "use a scaled-down DLRMConfig for functional work"
+            )
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.tables = [
+            rng.normal(0.0, 0.1, size=(config.table.rows, config.table.dim))
+            .astype(np.float32)
+            for _ in range(config.num_tables)
+        ]
+        self.bottom_mlp = MLP(config.bottom_mlp_dims, seed=seed + 1)
+        top_in = interaction_output_dim(config.num_tables, config.table.dim)
+        self.top_mlp = MLP(
+            (top_in, *config.top_mlp_dims),
+            seed=seed + 2,
+            final_activation="sigmoid",
+        )
+
+    def embedding_outputs(self, batch: Batch) -> list[np.ndarray]:
+        if len(batch.tables) != self.config.num_tables:
+            raise ValueError(
+                f"batch has {len(batch.tables)} table traces, model has "
+                f"{self.config.num_tables} tables"
+            )
+        return [
+            embedding_bag(table, trace.indices, trace.offsets)
+            for table, trace in zip(self.tables, batch.tables)
+        ]
+
+    def forward(self, batch: Batch) -> np.ndarray:
+        """Predicted CTR per sample, shape ``[batch_size]``."""
+        bottom_out = self.bottom_mlp(batch.dense.astype(np.float32))
+        emb_outs = self.embedding_outputs(batch)
+        interacted = dot_interaction(bottom_out, emb_outs)
+        ctr = self.top_mlp(interacted.astype(np.float32))
+        return ctr[:, 0]
+
+    __call__ = forward
+
+    def predict_topk(self, batch: Batch, k: int) -> np.ndarray:
+        """Indices of the top-k samples by predicted CTR (the serving
+        decision the paper's pipeline produces)."""
+        ctr = self.forward(batch)
+        k = min(k, len(ctr))
+        top = np.argpartition(ctr, -k)[-k:]
+        return top[np.argsort(ctr[top])[::-1]]

@@ -1,0 +1,293 @@
+"""Event-driven warp-level GPU execution engine.
+
+Models what the paper's characterization hinges on, at warp granularity:
+
+* each SM has 4 SMSPs (sub-partitions); an SMSP issues at most one
+  warp-instruction per cycle,
+* a per-warp scoreboard lets execution continue past loads until the
+  first dependent instruction, which then stalls the warp ("long
+  scoreboard stall" for global/local loads, "short" for shared memory),
+* thread blocks occupy resident-warp slots; the block scheduler streams
+  queued blocks onto SMs as slots free up (waves),
+* warps that are ready but not picked accumulate "not selected" stalls.
+
+The engine consumes warp *programs* — generators yielding the 5-tuple
+micro-ops defined in :mod:`repro.gpusim.isa` — and a
+:class:`~repro.gpusim.hierarchy.MemoryHierarchy` that provides load
+completion times.  Scheduling is loose-round-robin: the ready warp with
+the earliest ready time issues first; ties break deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.config.gpu import GpuSpec
+from repro.gpusim.hierarchy import MemoryHierarchy
+from repro.gpusim.isa import (
+    OP_ALU,
+    OP_LD_GLOBAL,
+    OP_LD_LOCAL,
+    OP_LD_SHARED,
+    OP_PREFETCH_L1,
+    OP_PREFETCH_L2,
+    OP_ST_GLOBAL,
+    OP_ST_LOCAL,
+    OP_ST_SHARED,
+)
+
+WarpProgram = Callable[[], Iterator[tuple]]
+
+
+class _Warp:
+    __slots__ = ("gen", "op", "sm", "smsp", "pending", "short_tags",
+                 "avail", "start", "block")
+
+    def __init__(self, gen: Iterator[tuple], sm: int, smsp: int,
+                 start: float, block: list) -> None:
+        self.gen = gen
+        self.op = next(gen, None)
+        self.sm = sm
+        self.smsp = smsp
+        self.pending: dict[int, float] = {}
+        self.short_tags: set[int] = set()
+        self.avail = start
+        self.start = start
+        self.block = block
+
+
+@dataclass
+class RawKernelStats:
+    """Raw counters from one kernel execution (pre-profiler)."""
+
+    name: str
+    makespan_cycles: float
+    n_warps: int
+    warps_per_sm: int
+    n_smsp: int
+    issued_insts: int
+    alu_insts: int
+    ld_global_insts: int
+    ld_local_insts: int
+    ld_shared_insts: int
+    st_insts: int
+    prefetch_insts: int
+    warp_resident_cycles: float
+    stall_long_scoreboard: float
+    stall_short_scoreboard: float
+    stall_not_selected: float
+
+    @property
+    def load_insts(self) -> int:
+        """Load instructions the way NCU counts them for the paper's
+        "#load insts" rows (global + local; shared reported separately)."""
+        return self.ld_global_insts + self.ld_local_insts
+
+
+def run_kernel(
+    gpu: GpuSpec,
+    hierarchy: MemoryHierarchy,
+    programs: Iterable[WarpProgram],
+    *,
+    warps_per_sm: int,
+    warps_per_block: int = 8,
+    name: str = "kernel",
+) -> RawKernelStats:
+    """Execute one kernel launch and return its raw statistics.
+
+    ``programs`` supplies one generator factory per warp, in launch order;
+    consecutive groups of ``warps_per_block`` form thread blocks, which
+    are distributed round-robin over the simulated SMs and streamed into
+    ``warps_per_sm // warps_per_block`` resident slots per SM.
+    """
+    programs = list(programs)
+    if not programs:
+        raise ValueError("kernel launched with zero warps")
+    if warps_per_sm <= 0:
+        raise ValueError("kernel has zero occupancy (too many registers?)")
+
+    num_sms = gpu.num_sms
+    smsps_per_sm = gpu.smsps_per_sm
+    n_smsp = num_sms * smsps_per_sm
+    lat_shared = gpu.lat_shared
+
+    blocks = [
+        programs[i:i + warps_per_block]
+        for i in range(0, len(programs), warps_per_block)
+    ]
+    queues: list[deque] = [deque() for _ in range(num_sms)]
+    for b, block in enumerate(blocks):
+        queues[b % num_sms].append(block)
+    resident_slots = max(1, warps_per_sm // warps_per_block)
+
+    smsp_next_free = [0.0] * n_smsp
+    smsp_issued = [0] * n_smsp
+    sm_warp_counter = [0] * num_sms
+
+    heap: list[tuple[float, int, _Warp]] = []
+    seq = 0
+
+    # counters
+    n_alu = n_ldg = n_ldl = n_lds = n_st = n_pf = 0
+    stall_long = stall_short = stall_ns = 0.0
+    warp_resident = 0.0
+    max_finish = 0.0
+    n_warps_run = 0
+
+    def start_block(sm: int, factories: list[WarpProgram], t: float) -> None:
+        nonlocal seq, n_warps_run
+        # block state: [warps remaining, latest finish, home SM]
+        block_state = [len(factories), t, sm]
+        for factory in factories:
+            smsp = sm * smsps_per_sm + (sm_warp_counter[sm] % smsps_per_sm)
+            sm_warp_counter[sm] += 1
+            warp = _Warp(factory(), sm, smsp, t, block_state)
+            n_warps_run += 1
+            if warp.op is None:  # empty program: finishes immediately
+                _retire(warp, t)
+                continue
+            seq += 1
+            heapq.heappush(heap, (t, seq, warp))
+
+    def _retire(warp: _Warp, finish: float) -> None:
+        nonlocal warp_resident, max_finish
+        warp_resident += finish - warp.start
+        if finish > max_finish:
+            max_finish = finish
+        block_state = warp.block
+        block_state[0] -= 1
+        if finish > block_state[1]:
+            block_state[1] = finish
+        if block_state[0] == 0:
+            home = block_state[2]
+            if queues[home]:
+                start_block(home, queues[home].popleft(), block_state[1])
+
+    for sm in range(num_sms):
+        for _ in range(resident_slots):
+            if queues[sm]:
+                start_block(sm, queues[sm].popleft(), 0.0)
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    load = hierarchy.load
+    store = hierarchy.store
+    pf_l1 = hierarchy.prefetch_into_l1
+    pf_l2 = hierarchy.prefetch_pin_l2
+
+    while heap:
+        t, _, w = heappop(heap)
+        op = w.op
+        dep = op[4]
+        smsp = w.smsp
+        nf = smsp_next_free[smsp]
+        t_can = nf if nf > t else t
+        if dep is not None:
+            dep_ready = w.pending.get(dep)
+            if dep_ready is not None:
+                if dep_ready > t_can:
+                    if dep in w.short_tags:
+                        stall_short += dep_ready - t_can
+                    else:
+                        stall_long += dep_ready - t_can
+                    seq += 1
+                    heappush(heap, (dep_ready, seq, w))
+                    continue
+                del w.pending[dep]
+                w.short_tags.discard(dep)
+        if t_can > t:
+            stall_ns += t_can - t
+
+        kind = op[0]
+        if kind == OP_ALU:
+            n = op[1]
+            smsp_next_free[smsp] = t_can + n
+            smsp_issued[smsp] += n
+            n_alu += n
+            w.avail = t_can + n
+        elif kind == OP_LD_GLOBAL:
+            w.pending[op[3]] = load(w.sm, op[1], op[2], t_can)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_ldg += 1
+            w.avail = t_can + 1
+        elif kind == OP_LD_LOCAL:
+            w.pending[op[3]] = load(w.sm, op[1], op[2], t_can, local=True)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_ldl += 1
+            w.avail = t_can + 1
+        elif kind == OP_LD_SHARED:
+            tag = op[3]
+            w.pending[tag] = t_can + lat_shared
+            w.short_tags.add(tag)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_lds += 1
+            w.avail = t_can + 1
+        elif kind == OP_ST_GLOBAL:
+            store(w.sm, op[1], op[2], t_can)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_st += 1
+            w.avail = t_can + 1
+        elif kind == OP_ST_SHARED:
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_st += 1
+            w.avail = t_can + 1
+        elif kind == OP_ST_LOCAL:
+            store(w.sm, op[1], op[2], t_can, local=True)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_st += 1
+            w.avail = t_can + 1
+        elif kind == OP_PREFETCH_L1:
+            pf_l1(w.sm, op[1], op[2], t_can)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_pf += 1
+            w.avail = t_can + 1
+        elif kind == OP_PREFETCH_L2:
+            pf_l2(op[1], op[2], t_can)
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            n_pf += 1
+            w.avail = t_can + 1
+        else:
+            raise ValueError(f"unknown micro-op kind {kind}")
+
+        nxt = next(w.gen, None)
+        if nxt is None:
+            _retire(w, w.avail)
+        else:
+            w.op = nxt
+            seq += 1
+            heappush(heap, (w.avail, seq, w))
+
+    if n_warps_run != len(programs):
+        raise RuntimeError(
+            "block scheduler lost warps: "
+            f"ran {n_warps_run} of {len(programs)}"
+        )
+
+    return RawKernelStats(
+        name=name,
+        makespan_cycles=max_finish,
+        n_warps=len(programs),
+        warps_per_sm=warps_per_sm,
+        n_smsp=n_smsp,
+        issued_insts=sum(smsp_issued),
+        alu_insts=n_alu,
+        ld_global_insts=n_ldg,
+        ld_local_insts=n_ldl,
+        ld_shared_insts=n_lds,
+        st_insts=n_st,
+        prefetch_insts=n_pf,
+        warp_resident_cycles=warp_resident,
+        stall_long_scoreboard=stall_long,
+        stall_short_scoreboard=stall_short,
+        stall_not_selected=stall_ns,
+    )

@@ -1,0 +1,266 @@
+"""The GPU memory hierarchy: per-SM L1 + uTLB, shared L2, HBM, MSHRs.
+
+Latency model (paper Table I): an access pays the latency of the level
+that supplies it — L1 ~38 cycles, L2 ~262, HBM ~466 plus queueing — and,
+on an L1 miss, an address-translation cost when the per-SM uTLB misses.
+The uTLB is what separates `random` (hundreds of thousands of 4 KB pages)
+from the hot datasets, reproducing per-load stall cycles well above the
+raw HBM latency that the paper measures.
+
+Outstanding fills are tracked in a global MSHR map so that concurrent
+misses to the same line merge instead of issuing duplicate DRAM reads —
+essential for the ``one_item`` dataset where thousands of warps miss the
+same line at t=0 and the paper reports ~zero DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from repro.config.gpu import CACHE_LINE_BYTES, GpuSpec
+from repro.gpusim.cache import SectoredCache
+from repro.gpusim.hbm import HbmChannel
+
+_LINE_SHIFT = CACHE_LINE_BYTES.bit_length() - 1
+
+
+class Tlb:
+    """Per-SM micro-TLB over small pages, LRU via insertion-ordered dict.
+
+    Page walks are tracked like MSHRs: while a walk is in flight, other
+    probes of the same page wait for the same walk instead of starting a
+    new one — so the four warps sharing one embedding row all pay the
+    translation latency of its (cold) page, as they do on hardware.
+    """
+
+    __slots__ = ("entries", "capacity", "page_shift", "penalty",
+                 "hits", "misses", "walks")
+
+    def __init__(self, capacity: int, page_bytes: int, penalty: int) -> None:
+        self.entries: dict[int, None] = {}
+        self.capacity = capacity
+        self.page_shift = page_bytes.bit_length() - 1
+        self.penalty = penalty
+        self.hits = 0
+        self.misses = 0
+        self.walks: dict[int, float] = {}
+
+    def lookup(self, addr: int, now: float) -> float:
+        """Translate; returns the extra cycles this access spends waiting
+        for the page walk (0 on a TLB hit with no walk in flight)."""
+        page = addr >> self.page_shift
+        entries = self.entries
+        if page in entries:
+            del entries[page]
+            entries[page] = None
+            done = self.walks.get(page)
+            if done is not None:
+                if done > now:  # join the in-flight walk
+                    self.hits += 1
+                    return done - now
+                del self.walks[page]
+            self.hits += 1
+            return 0.0
+        self.misses += 1
+        if len(entries) >= self.capacity:
+            victim = next(iter(entries))
+            del entries[victim]
+            self.walks.pop(victim, None)
+        entries[page] = None
+        self.walks[page] = now + self.penalty
+        return float(self.penalty)
+
+
+class MemoryHierarchy:
+    """L1s (one per simulated SM), shared L2, HBM and the MSHR map.
+
+    Two address classes get special handling so proportional GPU slicing
+    only affects what it is meant to model (the irregular table gathers):
+
+    * ``streaming_range`` — offsets/indices/output arrays.  These are
+      sequential, line-reused streams that always fit in a real L1; they
+      hit after first touch regardless of the scaled L1 capacity (first
+      touch pays the full L2/HBM path).
+    * local memory — register spills and LMPF buffers are private
+      per-warp lines.  While the kernel's total local footprint per SM
+      fits the *full-chip* L1 budget they are served at L1 latency; once
+      it overflows (heavy spilling at high occupancy, the paper's
+      64-warp point) every local access round-trips through the L2
+      service channel, consuming its bandwidth — the mechanism that
+      makes over-aggressive ``-maxrregcount`` lose (Figure 6).
+
+    The L2 is modelled with both a capacity (the sectored cache) and a
+    bandwidth service channel: L2-supplied reads queue on the channel, so
+    spill-heavy or L2-resident workloads see realistic serialization.
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        *,
+        l2_set_aside_bytes: int = 0,
+        streaming_range: tuple[int, int] | None = None,
+    ) -> None:
+        if l2_set_aside_bytes < 0 or l2_set_aside_bytes > gpu.l2_set_aside_bytes:
+            raise ValueError(
+                "set-aside must be within the GPU's residency-control limit "
+                f"(0..{gpu.l2_set_aside_bytes} B)"
+            )
+        self.gpu = gpu
+        self.l1s = [
+            SectoredCache(f"L1-sm{i}", gpu.l1_bytes, gpu.l1_assoc)
+            for i in range(gpu.num_sms)
+        ]
+        normal_l2 = gpu.l2_bytes - l2_set_aside_bytes
+        self.l2 = SectoredCache(
+            "L2", normal_l2, gpu.l2_assoc,
+            pin_capacity_bytes=l2_set_aside_bytes,
+        )
+        self.hbm = HbmChannel(gpu.lat_hbm, gpu.hbm_bytes_per_cycle)
+        self.l2_channel = HbmChannel(gpu.lat_l2, gpu.l2_bytes_per_cycle)
+        self.local_overflow = False
+        self.tlbs = [
+            Tlb(gpu.tlb_entries, gpu.tlb_page_bytes, gpu.tlb_miss_penalty)
+            for i in range(gpu.num_sms)
+        ]
+        self.inflight: dict[int, float] = {}
+        self.streaming_range = streaming_range or (0, 0)
+        self._stream_seen: list[set[int]] = [
+            set() for _ in range(gpu.num_sms)
+        ]
+        self.local_read_sectors = 0
+        self.local_write_sectors = 0
+        self.global_write_sectors = 0
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+    def load(self, sm: int, addr: int, sectors: int, now: float,
+             *, local: bool = False) -> float:
+        """A warp-level load; returns the cycle its data is available."""
+        gpu = self.gpu
+        if local:
+            self.local_read_sectors += sectors
+            if self.local_overflow:
+                # Spill working set exceeds the L1 budget: round-trip L2.
+                return self.l2_channel.read(sectors, now)
+            self.l1s[sm].hit_sectors += sectors
+            return now + gpu.lat_l1
+        line = addr >> _LINE_SHIFT
+        stream_lo, stream_hi = self.streaming_range
+        if stream_lo <= addr < stream_hi:
+            seen = self._stream_seen[sm]
+            if line in seen:
+                self.l1s[sm].hit_sectors += sectors
+                return now + gpu.lat_l1
+            seen.add(line)
+            self.l1s[sm].miss_sectors += sectors
+            # first touch pays the normal L2/DRAM path
+            if self.l2.access(line, sectors):
+                return self.l2_channel.read(sectors, now)
+            return self.hbm.read(sectors, now)
+        inflight = self.inflight
+        if self.l1s[sm].access(line, sectors):
+            ready = inflight.get(line)
+            if ready is not None:
+                if ready > now:  # merged with an outstanding fill
+                    return ready if ready > now + gpu.lat_l1 \
+                        else now + gpu.lat_l1
+                del inflight[line]
+            return now + gpu.lat_l1
+        extra = self.tlbs[sm].lookup(addr, now)
+        if self.l2.access(line, sectors):
+            ready = inflight.get(line)
+            if ready is not None:
+                if ready > now:
+                    base = self.l2_channel.read(sectors, now) + extra
+                    return ready if ready > base else base
+                del inflight[line]
+            return self.l2_channel.read(sectors, now) + extra
+        done = self.hbm.read(sectors, now) + extra
+        inflight[line] = done
+        return done
+
+    def configure_local_memory(
+        self, footprint_bytes_per_sm: int, budget_bytes: int
+    ) -> None:
+        """Decide where a kernel's local memory lives: within the L1
+        budget it stays on-SM; beyond it every access round-trips L2."""
+        self.local_overflow = footprint_bytes_per_sm > budget_bytes
+
+    def store(self, sm: int, addr: int, sectors: int, now: float = 0.0,
+              *, local: bool = False) -> None:
+        """Stores are fire-and-forget: local stores stay in the per-warp
+        L1 lines (or drain L2 bandwidth when overflowing); global stores
+        only count write traffic."""
+        if local:
+            self.local_write_sectors += sectors
+            if self.local_overflow:
+                self.l2_channel.occupy(sectors, now)
+        else:
+            self.global_write_sectors += sectors
+            self.hbm.write(sectors)
+
+    def prefetch_into_l1(self, sm: int, addr: int, sectors: int,
+                         now: float) -> float:
+        """`prefetch.global.L1`: demand path without a register target."""
+        return self.load(sm, addr, sectors, now)
+
+    def prefetch_pin_l2(self, addr: int, sectors: int, now: float) -> float:
+        """`prefetch.global.L2::evict_last`: fetch the line (if absent) and
+        pin it in the set-aside partition.  Returns fill-complete time."""
+        line = addr >> _LINE_SHIFT
+        already_present = line in self.inflight or self.l2.contains(line)
+        if self.l2.pin(line):
+            if already_present:
+                return now + self.gpu.lat_l2
+            return self.hbm.read(sectors, now)
+        # Set-aside full: behaves like a normal L2 prefetch.
+        if not self.l2.access(line, sectors):
+            return self.hbm.read(sectors, now)
+        return now + self.gpu.lat_l2
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def l1_hit_sectors(self) -> int:
+        return sum(c.hit_sectors for c in self.l1s)
+
+    @property
+    def l1_miss_sectors(self) -> int:
+        return sum(c.miss_sectors for c in self.l1s)
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hit_sectors + self.l1_miss_sectors
+        return self.l1_hit_sectors / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2.hit_rate
+
+    @property
+    def dram_read_bytes(self) -> int:
+        return self.hbm.read_bytes
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        hits = sum(t.hits for t in self.tlbs)
+        misses = sum(t.misses for t in self.tlbs)
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        for cache in self.l1s:
+            cache.reset_stats()
+        self.l2.reset_stats()
+        self.hbm.reset_stats()
+        self.l2_channel.reset_stats()
+        for seen in self._stream_seen:
+            seen.clear()
+        for tlb in self.tlbs:
+            tlb.hits = 0
+            tlb.misses = 0
+            tlb.walks.clear()
+        self.local_read_sectors = 0
+        self.local_write_sectors = 0
+        self.global_write_sectors = 0

@@ -1,0 +1,80 @@
+"""Occupancy calculation: registers / shared memory -> resident warps.
+
+Follows the CUDA occupancy rules the paper leans on in Section III-C:
+
+* warps are resident in whole thread blocks (8 warps per block for the
+  embedding kernel's (32, 8, 1) block shape),
+* per-warp register allocation is rounded up to the allocation unit,
+* the block count is limited by registers, shared memory, and the
+  hardware warp ceiling (64 on A100/H100).
+
+With 74 registers/thread this yields the paper's 24 resident warps
+(37.5% occupancy); forcing 50 registers via ``-maxrregcount`` yields the
+OptMT point of 40 warps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import WARP_SIZE, GpuSpec
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource usage as the compiler reports it."""
+
+    regs_per_thread: int
+    smem_per_block: int = 0
+    warps_per_block: int = 8
+
+    def __post_init__(self) -> None:
+        if self.regs_per_thread <= 0:
+            raise ValueError("regs_per_thread must be positive")
+        if self.warps_per_block <= 0:
+            raise ValueError("warps_per_block must be positive")
+        if self.smem_per_block < 0:
+            raise ValueError("smem_per_block must be >= 0")
+
+
+def regs_per_warp_allocated(gpu: GpuSpec, regs_per_thread: int) -> int:
+    """Registers actually reserved per warp (allocation-unit rounding)."""
+    raw = regs_per_thread * WARP_SIZE
+    unit = gpu.register_alloc_unit
+    return -(-raw // unit) * unit
+
+
+def resident_warps(gpu: GpuSpec, res: KernelResources) -> int:
+    """Theoretical resident warps per SM for a kernel's resource usage."""
+    per_block_regs = regs_per_warp_allocated(gpu, res.regs_per_thread) \
+        * res.warps_per_block
+    blocks_by_regs = gpu.registers_per_sm // per_block_regs
+    if res.smem_per_block > 0:
+        blocks_by_smem = gpu.shared_mem_bytes // res.smem_per_block
+    else:
+        blocks_by_smem = 1 << 30
+    blocks_by_warps = gpu.max_warps_per_sm // res.warps_per_block
+    blocks = min(blocks_by_regs, blocks_by_smem, blocks_by_warps)
+    return max(0, blocks) * res.warps_per_block
+
+
+def occupancy_pct(gpu: GpuSpec, res: KernelResources) -> float:
+    """Theoretical occupancy as a percentage of the warp ceiling."""
+    return 100.0 * resident_warps(gpu, res) / gpu.max_warps_per_sm
+
+
+def max_regs_for_warps(gpu: GpuSpec, target_warps: int,
+                       warps_per_block: int = 8) -> int:
+    """Largest ``-maxrregcount`` value that still yields >= target warps.
+
+    This is the paper's Section VII step (iii):
+    ``regs <= max_registers_per_SM / (desired_warps * warp_size)``,
+    adjusted for block granularity and the allocation unit.
+    """
+    if target_warps <= 0 or target_warps > gpu.max_warps_per_sm:
+        raise ValueError("target_warps out of range")
+    for regs in range(255, 0, -1):
+        res = KernelResources(regs, warps_per_block=warps_per_block)
+        if resident_warps(gpu, res) >= target_warps:
+            return regs
+    raise ValueError("no register count achieves the requested occupancy")

@@ -1,0 +1,118 @@
+"""NCU-style kernel profiles.
+
+Turns raw engine counters plus memory-hierarchy statistics into the
+metrics the paper reports in Tables IV, V, VIII and IX.  When the kernel
+ran on a proportional GPU slice, chip-total quantities (load instruction
+counts, DRAM bytes, bandwidth) are scaled back to full-chip equivalents
+so rows are directly comparable with the paper; per-SM and ratio metrics
+(hit rates, stalls per instruction, issue-slot utilization) need no
+scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.config.gpu import GpuSpec
+from repro.gpusim.engine import RawKernelStats
+from repro.gpusim.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel's worth of NCU-like metrics (paper table rows)."""
+
+    name: str
+    kernel_time_us: float
+    load_insts_m: float
+    sm_throughput_pct: float
+    warp_cycles_per_inst: float
+    long_scoreboard_stall: float
+    short_scoreboard_stall: float
+    not_selected_stall: float
+    issued_per_scheduler: float
+    l1_hit_pct: float
+    l2_hit_pct: float
+    dram_read_mb: float
+    avg_hbm_bw_gbps: float
+    hbm_bw_util_pct: float
+    local_loads_m: float
+    tlb_miss_pct: float
+    occupancy_warps: int
+    issued_insts: int
+    makespan_cycles: float
+
+    @classmethod
+    def from_run(
+        cls,
+        gpu: GpuSpec,
+        stats: RawKernelStats,
+        hierarchy: MemoryHierarchy,
+        *,
+        chip_factor: float = 1.0,
+        full_hbm_gbps: float | None = None,
+    ) -> "KernelProfile":
+        """Build a profile from one engine run.
+
+        ``chip_factor`` is the slice fraction (simulated SMs / full SMs);
+        ``full_hbm_gbps`` the unsliced chip's peak bandwidth, used to
+        report full-chip-equivalent average bandwidth.
+        """
+        if not 0 < chip_factor <= 1.0:
+            raise ValueError("chip_factor must be in (0, 1]")
+        makespan = stats.makespan_cycles
+        time_us = gpu.cycles_to_us(makespan)
+        issued = stats.issued_insts
+        issue_util = (
+            issued / (stats.n_smsp * makespan) if makespan > 0 else 0.0
+        )
+        util = hierarchy.hbm.utilization(makespan)
+        peak_gbps = full_hbm_gbps or gpu.hbm_bandwidth_gbps
+        return cls(
+            name=stats.name,
+            kernel_time_us=time_us,
+            load_insts_m=stats.load_insts / chip_factor / 1e6,
+            sm_throughput_pct=100.0 * issue_util,
+            warp_cycles_per_inst=(
+                stats.warp_resident_cycles / issued if issued else 0.0
+            ),
+            long_scoreboard_stall=(
+                stats.stall_long_scoreboard / issued if issued else 0.0
+            ),
+            short_scoreboard_stall=(
+                stats.stall_short_scoreboard / issued if issued else 0.0
+            ),
+            not_selected_stall=(
+                stats.stall_not_selected / issued if issued else 0.0
+            ),
+            issued_per_scheduler=issue_util,
+            l1_hit_pct=100.0 * hierarchy.l1_hit_rate,
+            l2_hit_pct=100.0 * hierarchy.l2_hit_rate,
+            dram_read_mb=hierarchy.dram_read_bytes / chip_factor / 1e6,
+            avg_hbm_bw_gbps=util * peak_gbps,
+            hbm_bw_util_pct=100.0 * util,
+            local_loads_m=stats.ld_local_insts / chip_factor / 1e6,
+            tlb_miss_pct=100.0 * hierarchy.tlb_miss_rate,
+            occupancy_warps=stats.warps_per_sm,
+            issued_insts=issued,
+            makespan_cycles=makespan,
+        )
+
+    def to_row(self) -> dict[str, float | int | str]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    #: metric name -> (paper row label, format) for NCU-style tables
+    NCU_ROWS = (
+        ("kernel_time_us", "Kernel time (us)", "{:.0f}"),
+        ("load_insts_m", "#load insts (M)", "{:.2f}"),
+        ("sm_throughput_pct", "SM Throughput %", "{:.2f}"),
+        ("warp_cycles_per_inst", "warp cycles per executed inst", "{:.2f}"),
+        ("long_scoreboard_stall", "long scoreboard stall (cycles)", "{:.2f}"),
+        ("issued_per_scheduler", "issued warp per scheduler per cycle",
+         "{:.2f}"),
+        ("l1_hit_pct", "Global L1$ hit rate %", "{:.2f}"),
+        ("l2_hit_pct", "L2$ hit rate %", "{:.2f}"),
+        ("dram_read_mb", "Device Memory size read (MB)", "{:.2f}"),
+        ("avg_hbm_bw_gbps", "Avg HBM Read BW (GBps)", "{:.1f}"),
+        ("hbm_bw_util_pct", "Avg HBM Read BW Utilization (%)", "{:.2f}"),
+    )

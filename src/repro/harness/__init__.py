@@ -1,0 +1,21 @@
+"""Experiment harness: regenerate every table and figure in the paper."""
+
+from repro.harness.context import (
+    ExperimentContext,
+    HarnessConfig,
+    default_context,
+)
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.results import ExperimentTable
+from repro.harness.runner import list_experiments, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentTable",
+    "HarnessConfig",
+    "default_context",
+    "list_experiments",
+    "run_all",
+    "run_experiment",
+]

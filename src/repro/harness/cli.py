@@ -1,0 +1,62 @@
+"""``repro-harness`` command-line interface.
+
+Usage::
+
+    repro-harness list
+    repro-harness run fig12 [--sms 6] [--seed 0]
+    repro-harness run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.context import ExperimentContext, HarnessConfig
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.runner import list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Regenerate the tables and figures of 'Pushing the Performance "
+            "Envelope of DNN-based Recommendation Systems Inference on "
+            "GPUs' (MICRO 2024) on the bundled GPU simulator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig12, or all")
+    run.add_argument(
+        "--sms", type=int, default=6,
+        help="simulated GPU slice size in SMs (default 6)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="trace seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id, desc in list_experiments():
+            print(f"{exp_id:8s} {desc}")
+        return 0
+
+    ctx = ExperimentContext(HarnessConfig(num_sms=args.sms, seed=args.seed))
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        start = time.perf_counter()
+        table = run_experiment(exp_id, ctx)
+        elapsed = time.perf_counter() - start
+        print(table.render())
+        print(f"({exp_id} regenerated in {elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Shared, cached experiment execution context.
+
+Most figures reuse the same (dataset, scheme) kernel runs — Fig. 12, 13,
+14 and Table VIII all need ``RPF+OptMT`` on four datasets, for example —
+so the harness funnels every simulation through one memoizing context.
+Results are deterministic (seeded traces, deterministic engine), which
+makes the cache sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.gpu import GPUS, A100_SXM4_80GB, GpuSpec
+from repro.config.model import PAPER_MODEL, DLRMConfig
+from repro.config.scale import SimScale
+from repro.core.embedding import (
+    KernelWorkload,
+    TableKernelResult,
+    kernel_workload,
+    run_table_kernel,
+)
+from repro.core.schemes import Scheme
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.dlrm.timing import KERNEL_LAUNCH_US, non_embedding_time
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """What one harness invocation simulates."""
+
+    num_sms: int = 6
+    seed: int = 0
+    model: DLRMConfig = field(default_factory=lambda: PAPER_MODEL)
+
+    @property
+    def scale(self) -> SimScale:
+        return SimScale(name=f"harness{self.num_sms}", num_sms=self.num_sms)
+
+
+class ExperimentContext:
+    """Memoized access to kernel simulations and derived pipeline numbers."""
+
+    def __init__(self, config: HarnessConfig | None = None) -> None:
+        self.config = config or HarnessConfig()
+        self._kernels: dict[tuple, TableKernelResult] = {}
+        self._workloads: dict[tuple, KernelWorkload] = {}
+
+    # ------------------------------------------------------------------
+    def workload(
+        self,
+        gpu: GpuSpec = A100_SXM4_80GB,
+        *,
+        pooling_factor: int | None = None,
+        num_sms: int | None = None,
+    ) -> KernelWorkload:
+        key = (gpu.name, pooling_factor, num_sms)
+        if key not in self._workloads:
+            scale = (
+                self.config.scale if num_sms is None
+                else SimScale(name=f"harness{num_sms}", num_sms=num_sms)
+            )
+            self._workloads[key] = kernel_workload(
+                gpu, self.config.model, scale,
+                pooling_factor=pooling_factor,
+            )
+        return self._workloads[key]
+
+    def kernel(
+        self,
+        dataset: str,
+        scheme: Scheme,
+        *,
+        gpu_name: str = A100_SXM4_80GB.name,
+        pooling_factor: int | None = None,
+    ) -> TableKernelResult:
+        """One table kernel, memoized on its full configuration."""
+        key = (gpu_name, dataset, scheme, pooling_factor)
+        if key not in self._kernels:
+            workload = self.workload(
+                GPUS[gpu_name], pooling_factor=pooling_factor
+            )
+            self._kernels[key] = run_table_kernel(
+                workload,
+                HOTNESS_PRESETS[dataset],
+                scheme,
+                seed=self.config.seed,
+            )
+        return self._kernels[key]
+
+    # ------------------------------------------------------------------
+    def embedding_stage_us(
+        self,
+        mix: dict[str, int],
+        scheme: Scheme,
+        *,
+        gpu_name: str = A100_SXM4_80GB.name,
+    ) -> float:
+        """Serial multi-table embedding-stage latency from cached kernels."""
+        total = 0.0
+        for dataset, count in mix.items():
+            result = self.kernel(dataset, scheme, gpu_name=gpu_name)
+            total += count * (result.kernel_time_us + KERNEL_LAUNCH_US)
+        return total
+
+    def batch_latency_ms(
+        self,
+        mix: dict[str, int],
+        scheme: Scheme,
+        *,
+        gpu_name: str = A100_SXM4_80GB.name,
+    ) -> float:
+        """End-to-end batch latency (Figure 1/13 metric)."""
+        emb = self.embedding_stage_us(mix, scheme, gpu_name=gpu_name)
+        non_emb = non_embedding_time(GPUS[gpu_name], self.config.model)
+        return (emb + non_emb.total_us) / 1e3
+
+    def embedding_share_pct(
+        self,
+        mix: dict[str, int],
+        scheme: Scheme,
+        *,
+        gpu_name: str = A100_SXM4_80GB.name,
+    ) -> float:
+        """Embedding stage share of end-to-end latency (Figure 14)."""
+        emb = self.embedding_stage_us(mix, scheme, gpu_name=gpu_name)
+        non_emb = non_embedding_time(GPUS[gpu_name], self.config.model)
+        return 100.0 * emb / (emb + non_emb.total_us)
+
+    def homogeneous_mix(self, dataset: str) -> dict[str, int]:
+        return {dataset: self.config.model.num_tables}
+
+
+#: Process-wide default context so pytest-benchmark files share the cache.
+_DEFAULT_CONTEXT: ExperimentContext | None = None
+
+
+def default_context() -> ExperimentContext:
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        import os
+
+        num_sms = int(os.environ.get("REPRO_HARNESS_SMS", "6"))
+        _DEFAULT_CONTEXT = ExperimentContext(HarnessConfig(num_sms=num_sms))
+    return _DEFAULT_CONTEXT

@@ -1,0 +1,170 @@
+"""The paper's reported numbers, transcribed for side-by-side comparison.
+
+Table values are exact transcriptions; figure values marked ``approx``
+are digitized from the plots and text (the paper releases no CSVs).
+Dataset order everywhere: ``one_item, high_hot, med_hot, low_hot,
+random`` (five-dataset tables) or the four evaluation datasets.
+"""
+
+DATASETS5 = ("one_item", "high_hot", "med_hot", "low_hot", "random")
+DATASETS4 = ("high_hot", "med_hot", "low_hot", "random")
+
+#: Table III — unique access % per dataset.
+TAB3_UNIQUE_ACCESS_PCT = {
+    "one_item": 0.0002,
+    "high_hot": 4.05,
+    "med_hot": 20.50,
+    "low_hot": 46.21,
+    "random": 63.21,
+}
+
+#: Figure 5 — coverage anchor quoted in the text: the top 10% of unique
+#: rows of ``high_hot`` cover 68% of all accesses.
+FIG5_HIGH_HOT_TOP10_COVERAGE_PCT = 68.0
+
+#: Table IV — NCU characterization of base PyTorch (24 warps/SM).
+TAB4_BASE = {
+    "kernel_time_us": (138, 237, 341, 428, 442),
+    "load_insts_m": (2.47, 2.47, 2.47, 2.47, 2.47),
+    "sm_throughput_pct": (71.45, 41.27, 26.65, 21.23, 20.42),
+    "warp_cycles_per_inst": (7.06, 11.7, 17.56, 21.94, 22.86),
+    "long_scoreboard_stall": (1.0, 7.2, 13.1, 17.7, 18.6),
+    "issued_per_scheduler": (0.77, 0.47, 0.31, 0.25, 0.24),
+    "l1_hit_pct": (98.7, 42.74, 30.11, 20.36, 19.0),
+    "l2_hit_pct": (99.46, 93.96, 59.5, 18.71, 7.7),
+    "dram_read_mb": (0.0, 4.87, 45.96, 122.0, 144.57),
+    "avg_hbm_bw_gbps": (0.0, 20.8, 135.0, 286.5, 329.5),
+    "hbm_bw_util_pct": (0.0, 1.04, 6.75, 14.33, 16.5),
+}
+
+#: Table V — OptMT (40 warps/SM, 42 allocated registers).
+TAB5_OPTMT = {
+    "kernel_time_us": (135, 189, 250, 282, 290),
+    "load_insts_m": (3.54, 3.54, 3.54, 3.54, 3.54),
+    "sm_throughput_pct": (71.89, 54.93, 39.3, 34.72, 33.84),
+    "warp_cycles_per_inst": (10.61, 15.2, 20.93, 24.74, 25.44),
+    "long_scoreboard_stall": (1.33, 8.6, 15.3, 19.6, 20.4),
+    "issued_per_scheduler": (0.79, 0.59, 0.42, 0.36, 0.35),
+    "l1_hit_pct": (98.7, 37.0, 27.2, 19.85, 19.0),
+    "l2_hit_pct": (85.36, 92.3, 56.51, 16.48, 7.1),
+    "dram_read_mb": (0.3, 7.5, 54.1, 131.9, 151.0),
+    "avg_hbm_bw_gbps": (2.57, 43.0, 226.5, 485.4, 547.5),
+    "hbm_bw_util_pct": (0.0, 2.2, 11.3, 24.3, 27.4),
+}
+
+#: Table VIII — RPF+OptMT (four evaluation datasets).
+TAB8_RPF_OPTMT = {
+    "kernel_time_us": (177, 205, 220, 224),
+    "load_insts_m": (4.43, 4.43, 4.43, 4.43),
+    "sm_throughput_pct": (59.3, 49.7, 44.4, 43.3),
+    "issued_slot_util_pct": (59.17, 49.65, 44.32, 43.5),
+    "dram_read_mb": (8.4, 53.0, 133.0, 151.8),
+    "avg_hbm_bw_gbps": (51.4, 277.7, 629.1, 699.4),
+    "hbm_bw_util_pct": (2.6, 13.9, 31.5, 35.0),
+}
+
+#: Table IX — RPF+L2P+OptMT.
+TAB9_COMBINED = {
+    "kernel_time_us": (167, 190, 216, 217),
+    "load_insts_m": (4.43, 4.43, 4.43, 4.43),
+    "sm_throughput_pct": (60.0, 49.9, 44.5, 43.3),
+    "issued_slot_util_pct": (60.12, 50.21, 44.64, 43.61),
+    "dram_read_mb": (4.9, 45.6, 128.0, 150.0),
+    "avg_hbm_bw_gbps": (30.0, 240.6, 613.2, 698.0),
+    "hbm_bw_util_pct": (1.5, 12.3, 30.7, 34.9),
+}
+
+#: Figure 1 — end-to-end batch latency (ms), base and OptMT (approx:
+#: digitized; bar totals are printed above the bars in the paper).
+FIG1_TOTAL_MS = {
+    "base": (69.22, 79.36, 84.69, 87.41, 87.79),
+    "OptMT": (69.19, 75.88, 80.62, 82.45, 82.88),
+}
+
+#: Figure 6 — WLP sweep speedups over base (approx) and local loads (M).
+FIG6_SPEEDUP = {  # dataset -> speedup at (24, 32, 40, 48, 64) warps
+    "high_hot": (1.0, 1.15, 1.25, 1.18, 0.95),
+    "med_hot": (1.0, 1.2, 1.36, 1.3, 1.1),
+    "low_hot": (1.0, 1.25, 1.52, 1.42, 1.22),
+    "random": (1.0, 1.27, 1.53, 1.45, 1.25),
+}
+FIG6_LOCAL_LOADS_M = (0.0, 0.4, 1.1, 1.9, 3.4)  # approx, at the 5 points
+
+#: Figure 9 — SMPF prefetch-distance sweep (no OptMT), approx optima.
+FIG9_OPTIMAL_DISTANCE = 10
+FIG9_RANDOM_SPEEDUP_AT_OPT = 2.0  # approx
+
+#: Figure 11 — L2P speedup vs pooling factor (approx envelope).
+FIG11_RANGE = (0.95, 1.2)
+
+#: Figure 12 — embedding-only speedups over base (approx from plot; the
+#: text quotes combined up to 2.03x for random and 13.5% over RPF+OptMT
+#: at med_hot).
+FIG12_SPEEDUP = {
+    "OptMT": (1.25, 1.36, 1.52, 1.53),
+    "RPF+OptMT": (1.34, 1.66, 1.94, 1.97),
+    "L2P+OptMT": (1.42, 1.45, 1.57, 1.58),
+    "RPF+L2P+OptMT": (1.42, 1.88, 2.00, 2.03),
+}
+
+#: Figure 13 — end-to-end speedups over base (approx; text: up to 1.77x).
+FIG13_SPEEDUP = {
+    "OptMT": (1.20, 1.28, 1.33, 1.35),
+    "RPF+OptMT": (1.27, 1.52, 1.68, 1.73),
+    "L2P+OptMT": (1.33, 1.38, 1.43, 1.45),
+    "RPF+L2P+OptMT": (1.34, 1.65, 1.74, 1.77),
+}
+
+#: Figure 14 — embedding share of end-to-end latency (%), base (approx;
+#: the y-axis spans 70-90% and the combined scheme drops it by up to 10
+#: points for random).
+FIG14_BASE_SHARE_PCT = (79.0, 84.0, 86.0, 87.0)
+FIG14_COMBINED_DROP_PCT = 10.0
+
+#: Figure 15 — all prefetch schemes + OptMT (approx; text quotes
+#: prefetch speedups {34, 66, 94, 97}% for {high, med, low}, random and
+#: a 15% L1DPF drop vs OptMT at high_hot).
+FIG15_SPEEDUP = {
+    "RPF+OptMT": (1.34, 1.66, 1.94, 1.97),
+    "SMPF+OptMT": (1.30, 1.62, 1.90, 1.93),
+    "LMPF+OptMT": (1.31, 1.63, 1.91, 1.94),
+    "L1DPF+OptMT": (1.10, 1.45, 1.70, 1.75),
+}
+
+#: Figure 16 — schemes without OptMT (approx).  Optimal distances from
+#: the text: RPF 4, SMPF 10, LMPF 10, L1DPF 5; SMPF wins.
+FIG16_OPTIMAL_DISTANCE = {
+    "register": 4, "shared": 10, "local": 10, "l1d": 5,
+}
+FIG16A_SPEEDUP = {
+    "RPF": (1.10, 1.35, 1.50, 1.55),
+    "LMPF": (1.28, 1.55, 1.88, 1.92),
+    "SMPF": (1.32, 1.60, 1.94, 1.99),
+    "L1DPF": (1.15, 1.45, 1.70, 1.75),
+}
+FIG16B_SPEEDUP = {
+    "L2P": (1.045, 1.064, 1.01, 1.00),
+    "SMPF+L2P": (1.38, 1.66, 1.96, 2.01),
+}
+
+#: Figure 17 — heterogeneous mixes (approx; combined best, Mix3 > Mix1).
+FIG17_COMBINED_SPEEDUP = {"Mix1": 1.75, "Mix2": 1.85, "Mix3": 1.95}
+
+#: Section VI-B4 / Figures 18-19 — H100 NVL.
+H100_BASE_TIME_US = {  # measured base PyTorch latencies quoted in text
+    "high_hot": 174, "med_hot": 228, "low_hot": 282, "random": 295,
+}
+H100_OPTMT_WARPS = 32
+H100_AVG_UPLIFT_OVER_A100_PCT = 47.0
+A100_OPT_VS_H100_BASE_PCT = 23.0
+FIG19_H100_COMBINED_MAX_SPEEDUP = 1.84
+
+#: Headline claims (abstract / conclusions).
+HEADLINE = {
+    "optmt_max_gain_pct": 53.0,
+    "embedding_max_gain_pct": 103.0,
+    "e2e_max_gain_pct": 77.0,
+    "base_worst_gap": 3.2,
+    "optmt_worst_gap": 2.1,
+    "combined_worst_gap": 1.57,
+}

@@ -1,0 +1,88 @@
+"""Result containers, rendering and export for the harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+Row = dict[str, Any]
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table or figure: rows of named values plus notes."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has columns not in table: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {self.exp_id}")
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: Any) -> Row:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"{self.exp_id}: no row with {key_column}={key!r}")
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table (the bench output)."""
+        header = [*self.columns]
+        body = [
+            [_fmt(row.get(col)) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+    def to_csv(self) -> str:
+        """Comma-separated export (header = columns)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in self.columns})
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON export with experiment metadata."""
+        return json.dumps({
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }, indent=2)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,29 @@
+"""Experiment dispatch for the CLI and the pytest benchmarks."""
+
+from __future__ import annotations
+
+from repro.harness.context import ExperimentContext, default_context
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.results import ExperimentTable
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    return [(exp_id, desc) for exp_id, (_, desc) in EXPERIMENTS.items()]
+
+
+def run_experiment(
+    exp_id: str, ctx: ExperimentContext | None = None
+) -> ExperimentTable:
+    """Run one experiment by id (``fig12``, ``tab4``, ...)."""
+    try:
+        builder, _ = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") \
+            from None
+    return builder(ctx or default_context())
+
+
+def run_all(ctx: ExperimentContext | None = None) -> dict[str, ExperimentTable]:
+    ctx = ctx or default_context()
+    return {exp_id: run_experiment(exp_id, ctx) for exp_id in EXPERIMENTS}

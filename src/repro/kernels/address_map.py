@@ -1,0 +1,71 @@
+"""Virtual address layout for the simulated embedding-bag kernel.
+
+Gives every simulated object a real byte address so cache sets, 4 KB
+pages and sectors behave like they would on hardware: the offsets and
+indices arrays are contiguous and stream-friendly, embedding tables are
+large row-major regions, and each warp gets a private local-memory
+window for register spills and LMPF buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import CACHE_LINE_BYTES
+
+_OFFSETS_BASE = 1 << 33
+_INDICES_BASE = (1 << 33) + (1 << 28)
+_OUTPUT_BASE = (1 << 33) + (1 << 30)
+_TABLE_BASE = 1 << 35
+_LOCAL_BASE = 1 << 40
+
+#: Address range with *streaming* access semantics (offsets, indices,
+#: output).  The memory hierarchy gives these full-chip L1 behaviour —
+#: hit after first touch — so that proportional L1 scaling only affects
+#: the irregular table gathers it is meant to model.
+STREAMING_RANGE = (_OFFSETS_BASE, _TABLE_BASE)
+
+#: Per-warp local-memory window (spill lines + LMPF buffer lines).
+LOCAL_WINDOW_BYTES = 8 * 1024
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Address helpers for one table's kernel launch."""
+
+    row_bytes: int
+    table_id: int = 0
+    table_stride: int = 1 << 30
+
+    def offsets_addr(self, sample: int) -> int:
+        return _OFFSETS_BASE + 8 * sample
+
+    def index_addr(self, flat_index: int) -> int:
+        """Address of ``indices[flat_index]`` (int64 elements)."""
+        return _INDICES_BASE + 8 * flat_index
+
+    def row_addr(self, row: int, col_byte_offset: int = 0) -> int:
+        """Address of a row's ``col_byte_offset`` chunk in the table."""
+        return (
+            _TABLE_BASE
+            + self.table_id * self.table_stride
+            + row * self.row_bytes
+            + col_byte_offset
+        )
+
+    def output_addr(self, sample: int, col_byte_offset: int = 0) -> int:
+        return _OUTPUT_BASE + sample * self.row_bytes + col_byte_offset
+
+    @staticmethod
+    def local_window(warp_uid: int) -> int:
+        """Base of a warp's private local-memory window."""
+        return _LOCAL_BASE + warp_uid * LOCAL_WINDOW_BYTES
+
+    @staticmethod
+    def local_line(warp_uid: int, slot: int) -> int:
+        """One 128-B local line inside a warp's window, by slot."""
+        window_lines = LOCAL_WINDOW_BYTES // CACHE_LINE_BYTES
+        return (
+            AddressMap.local_window(warp_uid)
+            + (slot % window_lines) * CACHE_LINE_BYTES
+        )

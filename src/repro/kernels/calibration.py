@@ -1,0 +1,116 @@
+"""Calibration constants for the embedding-bag kernel model.
+
+These are the free parameters of the reproduction.  Each is pinned to a
+specific observation in the paper (or in NCU traces of the real kernel)
+and DESIGN.md explains the fitting approach; everything else in the
+simulator is structural.
+
+Instruction-cost model (warp-level instructions per gather-reduce
+iteration of Algorithm 2):
+
+* The real kernel issues ~50 instructions per pooled lookup (derived
+  from Table IV: 2.47M load insts, 0.77 issue slots/scheduler/cycle and
+  138 us for ``one_item`` imply ~7.9K instructions per warp for 150
+  lookups — 64-bit index arithmetic, bounds checks, predication and
+  loop control around the two loads).
+* Of those, the address-generation burst depends on the just-loaded
+  index (it sits on the serial chain between the index load and the row
+  load); the accumulate tail depends on the row data.
+"""
+
+from __future__ import annotations
+
+#: ALU burst between the index load and the row load (64-bit address
+#: math, bounds checks, loop control).  Depends on the index value.
+ADDR_CALC_ALU = 50
+
+#: ALU tail after the row data arrives (FMA accumulate + loop branch).
+ACCUM_ALU = 12
+
+#: One-time per-warp prologue (offsets load consume, setup).
+PROLOGUE_ALU = 20
+
+#: One-time per-warp epilogue around the output store.
+EPILOGUE_ALU = 4
+
+#: Registers/thread the stock PyTorch EmbeddingBag kernel needs
+#: (Table IV: 74 registers -> 24 resident warps on A100).
+BASE_DEMAND_REGS = 74
+
+#: Extra register demand of register-based prefetching: fixed overhead
+#: plus per-slot buffer registers.  Fitted so that RPF without OptMT
+#: keeps 24 resident warps at d=4 but collapses to 16 at d >= 5
+#: (Section VI-B2), under the 256-register warp allocation unit.
+RPF_FIXED_REGS = 2
+RPF_REGS_PER_SLOT = 1
+
+#: Register demand of the other prefetch variants (buffers live outside
+#: the register file).  Fitted to Section VI-B2: nvcc compiles SMPF at
+#: 32 warps/SM; LMPF and L1DPF stay at 24.
+SMPF_DEMAND_REGS = 62
+LMPF_DEMAND_REGS = 70
+L1DPF_DEMAND_REGS = 76
+
+#: Shared-memory buffer per block for SMPF: 256 threads x d x 4 B
+#: (Figure 8b's ``prefetch_bfr[256][10]``).
+SMPF_SMEM_PER_THREAD = 4
+
+#: Extra ALU work per *consume* iteration for each prefetch variant
+#: (buffer index arithmetic, modulo trigger).  Fitted to the paper's
+#: "37.2% instruction overhead for SMPF" and to L1DPF having the
+#: largest overhead / smallest gain (Section VI-B1).
+PF_CONSUME_EXTRA_ALU = {
+    "register": 8,
+    "shared": 10,
+    "local": 10,
+    "l1d": 12,
+}
+
+#: Per-group trigger overhead (the ``pf_cnt % d`` check).
+PF_TRIGGER_ALU = 3
+
+#: Address regeneration inside the L1DPF prefetch burst.  Cheaper than
+#: the demand-path burst because the compiler CSEs most of the 64-bit
+#: math between the prefetch and the demand load of the same element.
+L1DPF_BURST_ALU = 6
+
+#: Register spilling: local-memory store+load round-trips per iteration,
+#: quadratic in the number of spilled registers (the compiler spills
+#: cold values first).  Fitted to two observations at once:
+#:   * OptMT (24 spilled regs) adds ~1.07M local loads (Table V vs IV),
+#:   * the 64-warp point (42 spilled) shows ~3.3M local loads (Fig. 6).
+SPILL_PAIRS_PER_ITER_COEFF = 0.0013
+
+#: ALU cycles consuming a spill reload (it sits on the serial chain).
+SPILL_CONSUME_ALU = 2
+
+#: OptMT register caps (Section III-C / VI-B4): the empirically best
+#: occupancy is 40 warps on A100 and 32 on H100.  (The paper quotes "42
+#: registers" for the A100 OptMT build; under the 256-register warp
+#: allocation unit, 48 is the largest cap that still yields 40 warps —
+#: see DESIGN.md, Known deviations.)
+OPTMT_MAXRREG = {
+    "A100-SXM4-80GB": 48,  # -> 40 resident warps
+    "H100-NVL": 64,        # -> 32 resident warps
+}
+
+#: Fraction of the (full-chip) L1 a kernel's local-memory working set may
+#: occupy before local accesses overflow to the L2 (the rest of the L1
+#: serves the gather stream).
+LOCAL_L1_BUDGET_FRACTION = 0.85
+
+#: Default prefetch distances (Section VI-B1/B2): every scheme is best
+#: at d=2 on top of OptMT; without OptMT the optima differ per buffer.
+PF_BEST_DISTANCE_WITH_OPTMT = {
+    "register": 2, "shared": 2, "local": 2, "l1d": 2,
+}
+PF_BEST_DISTANCE_NO_OPTMT = {
+    "register": 4, "shared": 10, "local": 10, "l1d": 5,
+}
+
+
+def spill_pairs_per_iter(spilled_regs: int) -> float:
+    """Local-memory round-trips per gather iteration for a spill count."""
+    if spilled_regs <= 0:
+        return 0.0
+    return SPILL_PAIRS_PER_ITER_COEFF * spilled_regs * spilled_regs

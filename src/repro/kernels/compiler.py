@@ -1,0 +1,127 @@
+"""The "nvcc" model: kernel variant -> registers, occupancy, spills.
+
+Mirrors the compiler behaviour the paper exploits:
+
+* each kernel variant has a register *demand* (stock kernel: 74),
+* ``-maxrregcount`` caps the allocation; demand beyond the cap spills
+  to local memory (quadratically growing per-iteration traffic, see
+  :mod:`repro.kernels.calibration`),
+* occupancy follows from the allocated registers and shared-memory
+  usage via :mod:`repro.gpusim.occupancy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.gpu import WARP_SIZE, GpuSpec
+from repro.gpusim.occupancy import KernelResources, resident_warps
+from repro.kernels import calibration as cal
+
+PREFETCH_KINDS = ("register", "shared", "local", "l1d")
+
+
+@dataclass(frozen=True)
+class KernelBuild:
+    """A compiled embedding-bag kernel variant."""
+
+    gpu_name: str
+    prefetch: str | None
+    prefetch_distance: int
+    maxrregcount: int | None
+    demand_regs: int
+    allocated_regs: int
+    spilled_regs: int
+    spill_pairs_per_iter: float
+    smem_per_block: int
+    warps_per_sm: int
+    warps_per_block: int
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.prefetch:
+            parts.append(
+                {"register": "RPF", "shared": "SMPF",
+                 "local": "LMPF", "l1d": "L1DPF"}[self.prefetch]
+                + f"(d={self.prefetch_distance})"
+            )
+        if self.maxrregcount is not None:
+            parts.append(f"maxrreg={self.maxrregcount}")
+        return "+".join(parts) if parts else "base"
+
+
+def demand_registers(prefetch: str | None, prefetch_distance: int) -> int:
+    """Register demand of a kernel variant, before any compiler cap."""
+    if prefetch is None:
+        return cal.BASE_DEMAND_REGS
+    if prefetch == "register":
+        return (
+            cal.BASE_DEMAND_REGS
+            + cal.RPF_FIXED_REGS
+            + cal.RPF_REGS_PER_SLOT * prefetch_distance
+        )
+    if prefetch == "shared":
+        return cal.SMPF_DEMAND_REGS
+    if prefetch == "local":
+        return cal.LMPF_DEMAND_REGS
+    if prefetch == "l1d":
+        return cal.L1DPF_DEMAND_REGS
+    raise ValueError(f"unknown prefetch kind {prefetch!r}")
+
+
+def compile_kernel(
+    gpu: GpuSpec,
+    *,
+    prefetch: str | None = None,
+    prefetch_distance: int = 0,
+    maxrregcount: int | None = None,
+    warps_per_block: int = 8,
+) -> KernelBuild:
+    """Resolve a kernel variant to its resources and occupancy."""
+    if prefetch is not None:
+        if prefetch not in PREFETCH_KINDS:
+            raise ValueError(
+                f"prefetch must be one of {PREFETCH_KINDS}, got {prefetch!r}"
+            )
+        if prefetch_distance < 1:
+            raise ValueError("prefetching needs a distance >= 1")
+    if maxrregcount is not None and not 16 <= maxrregcount <= 255:
+        raise ValueError("maxrregcount must be in [16, 255]")
+
+    demand = demand_registers(prefetch, prefetch_distance)
+    allocated = demand if maxrregcount is None else min(demand, maxrregcount)
+    spilled = demand - allocated
+    smem = (
+        cal.SMPF_SMEM_PER_THREAD * prefetch_distance
+        * warps_per_block * WARP_SIZE
+        if prefetch == "shared" else 0
+    )
+    resources = KernelResources(
+        regs_per_thread=allocated,
+        smem_per_block=smem,
+        warps_per_block=warps_per_block,
+    )
+    return KernelBuild(
+        gpu_name=gpu.name,
+        prefetch=prefetch,
+        prefetch_distance=prefetch_distance,
+        maxrregcount=maxrregcount,
+        demand_regs=demand,
+        allocated_regs=allocated,
+        spilled_regs=spilled,
+        spill_pairs_per_iter=cal.spill_pairs_per_iter(spilled),
+        smem_per_block=smem,
+        warps_per_sm=resident_warps(gpu, resources),
+        warps_per_block=warps_per_block,
+    )
+
+
+def optmt_maxrreg(gpu: GpuSpec) -> int:
+    """The paper's OptMT register cap for a GPU (40 warps on A100,
+    32 on H100).  Slice names resolve to their parent chip."""
+    base = gpu.name.split("-slice")[0]
+    try:
+        return cal.OPTMT_MAXRREG[base]
+    except KeyError:
+        raise KeyError(f"no OptMT calibration for GPU {gpu.name!r}") from None

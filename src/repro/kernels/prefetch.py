@@ -1,0 +1,175 @@
+"""Software-prefetching variants of the embedding-bag kernel (Sec. IV-B).
+
+All four schemes batch the indirect gather loads ``d`` iterations ahead
+(Figure 8), differing only in the buffer station:
+
+* **RPF** — buffer registers; consumption is free but register demand
+  grows with ``d`` (occupancy collapse without OptMT).
+* **SMPF** — shared memory; a store burst parks the data, consumption
+  pays the 29-cycle shared latency.
+* **LMPF** — local memory; same shape as SMPF but the buffer round-trips
+  through L1 and counts as local traffic.
+* **L1DPF** — ``prefetch.global.L1``; no buffer registers, but the
+  demand loop still executes in full, making it the highest-overhead,
+  lowest-gain variant.
+
+The prefetch burst issues the ``d`` row loads back-to-back, so their
+latencies overlap; the group then pays roughly one memory latency
+instead of ``d`` — which is exactly the scoreboard-driven hiding the
+paper engineers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.datasets.trace import EmbeddingTrace
+from repro.gpusim.isa import (
+    OP_ALU,
+    OP_LD_GLOBAL,
+    OP_LD_LOCAL,
+    OP_LD_SHARED,
+    OP_PREFETCH_L1,
+    OP_ST_GLOBAL,
+    OP_ST_LOCAL,
+    OP_ST_SHARED,
+)
+from repro.kernels import calibration as cal
+from repro.kernels.address_map import AddressMap
+from repro.kernels.compiler import KernelBuild
+from repro.kernels.embedding_bag import (
+    LMPF_SLOT_BASE,
+    TAG_IDX,
+    TAG_LOCAL_PF,
+    TAG_OFF,
+    TAG_PF_BASE,
+    TAG_SMEM,
+    TAG_SPILL,
+    WarpProgram,
+    iter_warp_work,
+    spill_state,
+)
+
+
+def _spill_ops(
+    warp_uid: int, spill_slot: int, spill_lines: int
+) -> tuple[tuple, tuple, tuple]:
+    addr = AddressMap.local_line(warp_uid, spill_slot % spill_lines)
+    return (
+        (OP_ST_LOCAL, addr, 4, None, None),
+        (OP_LD_LOCAL, addr, 4, TAG_SPILL, None),
+        (OP_ALU, cal.SPILL_CONSUME_ALU, 0, None, TAG_SPILL),
+    )
+
+
+def _make_prefetch_program(
+    kind: str,
+    amap: AddressMap,
+    sample: int,
+    col_off: int,
+    flat_begin: int,
+    rows: list[int],
+    warp_uid: int,
+    distance: int,
+    spill_pairs: float,
+    spill_lines: int,
+) -> WarpProgram:
+    addr_alu = cal.ADDR_CALC_ALU
+    consume_alu = cal.ACCUM_ALU + cal.PF_CONSUME_EXTRA_ALU[kind]
+    trigger_alu = cal.PF_TRIGGER_ALU
+    idx_base = amap.index_addr(flat_begin)
+    local_line = AddressMap.local_line
+
+    def gen() -> Iterator[tuple]:
+        yield (OP_LD_GLOBAL, amap.offsets_addr(sample), 1, TAG_OFF, None)
+        yield (OP_ALU, cal.PROLOGUE_ALU, 0, None, TAG_OFF)
+        n = len(rows)
+        spill_acc = 0.0
+        spill_slot = 0
+        i = 0
+        while i < n:
+            batch = distance if i + distance <= n else n - i
+            yield (OP_ALU, trigger_alu, 0, None, None)
+            # --- prefetch burst: gather loads issued back-to-back ------
+            if kind == "l1d":
+                for j in range(batch):
+                    yield (OP_LD_GLOBAL, idx_base + 8 * (i + j), 1,
+                           TAG_IDX, None)
+                    yield (OP_ALU, cal.L1DPF_BURST_ALU, 0, None, TAG_IDX)
+                    yield (OP_PREFETCH_L1,
+                           amap.row_addr(rows[i + j], col_off), 4,
+                           None, None)
+            else:
+                for j in range(batch):
+                    yield (OP_LD_GLOBAL, idx_base + 8 * (i + j), 1,
+                           TAG_IDX, None)
+                    yield (OP_ALU, addr_alu, 0, None, TAG_IDX)
+                    yield (OP_LD_GLOBAL,
+                           amap.row_addr(rows[i + j], col_off), 4,
+                           TAG_PF_BASE + j, None)
+            # --- park the burst in the buffer station -------------------
+            if kind == "shared":
+                for j in range(batch):
+                    yield (OP_ST_SHARED, 0, 0, None, TAG_PF_BASE + j)
+            elif kind == "local":
+                for j in range(batch):
+                    yield (OP_ST_LOCAL,
+                           local_line(warp_uid, LMPF_SLOT_BASE + j), 4,
+                           None, TAG_PF_BASE + j)
+            # --- consume one iteration at a time ------------------------
+            for j in range(batch):
+                if kind == "register":
+                    yield (OP_ALU, consume_alu, 0, None, TAG_PF_BASE + j)
+                elif kind == "shared":
+                    yield (OP_LD_SHARED, 0, 0, TAG_SMEM, None)
+                    yield (OP_ALU, consume_alu, 0, None, TAG_SMEM)
+                elif kind == "local":
+                    yield (OP_LD_LOCAL,
+                           local_line(warp_uid, LMPF_SLOT_BASE + j), 4,
+                           TAG_LOCAL_PF, None)
+                    yield (OP_ALU, consume_alu, 0, None, TAG_LOCAL_PF)
+                else:  # l1d: the demand loop runs in full, hitting L1
+                    yield (OP_LD_GLOBAL, idx_base + 8 * (i + j), 1,
+                           TAG_IDX, None)
+                    yield (OP_ALU, addr_alu, 0, None, TAG_IDX)
+                    yield (OP_LD_GLOBAL,
+                           amap.row_addr(rows[i + j], col_off), 4,
+                           TAG_PF_BASE, None)
+                    yield (OP_ALU, consume_alu, 0, None, TAG_PF_BASE)
+                spill_acc += spill_pairs
+                while spill_acc >= 1.0:
+                    spill_acc -= 1.0
+                    for op in _spill_ops(warp_uid, spill_slot, spill_lines):
+                        yield op
+                    spill_slot += 1
+            i += batch
+        yield (OP_ALU, cal.EPILOGUE_ALU, 0, None, None)
+        yield (OP_ST_GLOBAL, amap.output_addr(sample, col_off), 4,
+               None, None)
+
+    return gen
+
+
+def build_prefetch_programs(
+    trace: EmbeddingTrace,
+    build: KernelBuild,
+    amap: AddressMap,
+    *,
+    warp_uid_base: int = 0,
+) -> list[WarpProgram]:
+    """Programs for every warp of a prefetching kernel launch."""
+    if build.prefetch is None:
+        raise ValueError("kernel build has no prefetch scheme")
+    spill_pairs, spill_lines = spill_state(build)
+    programs: list[WarpProgram] = []
+    uid = warp_uid_base
+    for sample, col_off, begin, rows in iter_warp_work(
+            trace, amap.row_bytes):
+        programs.append(
+            _make_prefetch_program(
+                build.prefetch, amap, sample, col_off, begin, rows,
+                uid, build.prefetch_distance, spill_pairs, spill_lines,
+            )
+        )
+        uid += 1
+    return programs

@@ -1,0 +1,26 @@
+"""Dispatch from a compiled kernel build to its warp-program builder."""
+
+from __future__ import annotations
+
+from repro.datasets.trace import EmbeddingTrace
+from repro.kernels.address_map import AddressMap
+from repro.kernels.compiler import KernelBuild
+from repro.kernels.embedding_bag import WarpProgram, build_base_programs
+from repro.kernels.prefetch import build_prefetch_programs
+
+
+def build_programs(
+    trace: EmbeddingTrace,
+    build: KernelBuild,
+    amap: AddressMap,
+    *,
+    warp_uid_base: int = 0,
+) -> list[WarpProgram]:
+    """Warp programs for one table's kernel launch under any variant."""
+    if build.prefetch is None:
+        return build_base_programs(
+            trace, build, amap, warp_uid_base=warp_uid_base
+        )
+    return build_prefetch_programs(
+        trace, build, amap, warp_uid_base=warp_uid_base
+    )

@@ -1,0 +1,108 @@
+"""GpuSpec: paper constants (Tables I/II/VI) and slice scaling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.gpu import (
+    A100_SXM4_80GB,
+    CACHE_LINE_BYTES,
+    GPUS,
+    H100_NVL,
+    SECTOR_BYTES,
+    SECTORS_PER_LINE,
+    WARP_SIZE,
+)
+
+
+class TestPaperConstants:
+    def test_a100_table_vi_spec(self):
+        assert A100_SXM4_80GB.num_sms == 108
+        assert A100_SXM4_80GB.registers_per_sm == 64 * 1024
+        assert A100_SXM4_80GB.l1_bytes == 192 * 1024
+        assert A100_SXM4_80GB.l2_bytes == 40 * 1024 * 1024
+        assert A100_SXM4_80GB.hbm_bytes == 80 * 1024**3
+
+    def test_a100_table_i_latencies(self):
+        # Table I: register 1, shared 29, L1 ~38, L2 ~262, HBM ~466
+        assert A100_SXM4_80GB.lat_register == 1
+        assert A100_SXM4_80GB.lat_shared == 29
+        assert A100_SXM4_80GB.lat_l1 == 38
+        assert A100_SXM4_80GB.lat_l2 == 262
+        assert A100_SXM4_80GB.lat_hbm == 466
+
+    def test_h100_section_vib4_spec(self):
+        assert H100_NVL.num_sms == 132
+        assert H100_NVL.l2_bytes == 50 * 1024 * 1024
+        assert H100_NVL.hbm_bandwidth_gbps == pytest.approx(3840.0)
+        # ~27% faster SM clock than A100
+        ratio = H100_NVL.clock_ghz / A100_SXM4_80GB.clock_ghz
+        assert 1.2 < ratio < 1.35
+
+    def test_l2_set_aside_is_75_pct(self):
+        assert A100_SXM4_80GB.l2_set_aside_bytes == 30 * 1024 * 1024
+
+    def test_max_warps_per_smsp(self):
+        assert A100_SXM4_80GB.max_warps_per_smsp == 16
+
+    def test_line_and_sector_geometry(self):
+        assert CACHE_LINE_BYTES == 128
+        assert SECTOR_BYTES == 32
+        assert SECTORS_PER_LINE == 4
+        assert WARP_SIZE == 32
+
+    def test_registry(self):
+        assert GPUS[A100_SXM4_80GB.name] is A100_SXM4_80GB
+        assert GPUS[H100_NVL.name] is H100_NVL
+
+
+class TestDerivedQuantities:
+    def test_hbm_bytes_per_cycle(self):
+        # 1.94 TB/s at 1.41 GHz -> ~1376 B/cycle
+        assert A100_SXM4_80GB.hbm_bytes_per_cycle == pytest.approx(
+            1940 / 1.41, rel=1e-6
+        )
+
+    def test_cycles_to_us(self):
+        assert A100_SXM4_80GB.cycles_to_us(1410) == pytest.approx(1.0)
+        assert A100_SXM4_80GB.cycles_to_us(0) == 0.0
+
+
+class TestScaledSlice:
+    def test_slice_scales_shared_resources(self):
+        half = A100_SXM4_80GB.scaled_slice(54)
+        assert half.num_sms == 54
+        assert half.l2_bytes == A100_SXM4_80GB.l2_bytes // 2
+        assert half.hbm_bandwidth_gbps == pytest.approx(
+            A100_SXM4_80GB.hbm_bandwidth_gbps / 2
+        )
+
+    def test_slice_preserves_issue_resources(self):
+        sliced = A100_SXM4_80GB.scaled_slice(6)
+        assert sliced.registers_per_sm == A100_SXM4_80GB.registers_per_sm
+        assert sliced.max_warps_per_sm == A100_SXM4_80GB.max_warps_per_sm
+        assert sliced.smsps_per_sm == A100_SXM4_80GB.smsps_per_sm
+        assert sliced.tlb_entries == A100_SXM4_80GB.tlb_entries
+
+    def test_slice_name_tags_parent(self):
+        assert A100_SXM4_80GB.scaled_slice(6).name == "A100-SXM4-80GB-slice6"
+
+    def test_full_slice_keeps_capacities(self):
+        full = A100_SXM4_80GB.scaled_slice(108)
+        assert full.l2_bytes == A100_SXM4_80GB.l2_bytes
+        assert full.l1_bytes == A100_SXM4_80GB.l1_bytes
+
+    @pytest.mark.parametrize("bad", [0, -1, 109])
+    def test_slice_rejects_bad_sm_count(self, bad):
+        with pytest.raises(ValueError):
+            A100_SXM4_80GB.scaled_slice(bad)
+
+    @given(st.integers(min_value=1, max_value=108))
+    def test_slice_invariants(self, num_sms):
+        sliced = A100_SXM4_80GB.scaled_slice(num_sms)
+        assert sliced.num_sms == num_sms
+        assert 0 < sliced.l2_bytes <= A100_SXM4_80GB.l2_bytes
+        assert 0 < sliced.l1_bytes <= A100_SXM4_80GB.l1_bytes
+        assert sliced.hbm_bandwidth_gbps <= A100_SXM4_80GB.hbm_bandwidth_gbps
+        # latencies never change with slicing
+        assert sliced.lat_l2 == A100_SXM4_80GB.lat_l2
+        assert sliced.lat_hbm == A100_SXM4_80GB.lat_hbm

@@ -1,0 +1,60 @@
+"""DLRMConfig: the paper's Section V model arithmetic."""
+
+import pytest
+
+from repro.config.model import PAPER_MODEL, DLRMConfig, EmbeddingTableConfig
+
+
+class TestEmbeddingTableConfig:
+    def test_row_bytes_is_512(self):
+        # 128 dims x 4 B = 512 B per vector (Section V)
+        assert PAPER_MODEL.table.row_bytes == 512
+
+    def test_table_bytes(self):
+        assert PAPER_MODEL.table.table_bytes == 500_000 * 512
+
+    def test_scaled_rounds_and_floors(self):
+        small = EmbeddingTableConfig(rows=1000).scaled(0.0001)
+        assert small.rows == 64  # floor
+        half = EmbeddingTableConfig(rows=1000).scaled(0.5)
+        assert half.rows == 500
+
+
+class TestPaperModel:
+    def test_section_v_dimensions(self):
+        assert PAPER_MODEL.num_tables == 250
+        assert PAPER_MODEL.batch_size == 2048
+        assert PAPER_MODEL.pooling_factor == 150
+        assert PAPER_MODEL.bottom_mlp_dims == (1024, 512, 128, 128)
+        assert PAPER_MODEL.top_mlp_dims == (128, 64, 1)
+
+    def test_data_processed_per_table_is_150_mb(self):
+        # Section III-A: 2048 x 150 x 128 x 4 B = 150 MB per table
+        assert PAPER_MODEL.embedding_bytes_per_table == \
+            2048 * 150 * 128 * 4
+
+    def test_embedding_stage_processes_37_5_gb(self):
+        total = PAPER_MODEL.num_tables * PAPER_MODEL.embedding_bytes_per_table
+        assert total == pytest.approx(37.5e9, rel=0.05)
+
+    def test_model_weight_is_about_60_gb(self):
+        assert PAPER_MODEL.model_bytes == pytest.approx(64e9, rel=0.05)
+
+    def test_lookups_per_table(self):
+        assert PAPER_MODEL.lookups_per_table == 2048 * 150
+
+
+class TestValidation:
+    def test_bottom_mlp_must_end_at_embedding_dim(self):
+        with pytest.raises(ValueError):
+            DLRMConfig(bottom_mlp_dims=(1024, 512, 64))
+
+    def test_custom_config_accepted(self):
+        cfg = DLRMConfig(
+            num_tables=4,
+            table=EmbeddingTableConfig(rows=100, dim=16),
+            bottom_mlp_dims=(8, 16),
+            batch_size=4,
+            pooling_factor=2,
+        )
+        assert cfg.lookups_per_table == 8

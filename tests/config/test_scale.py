@@ -1,0 +1,49 @@
+"""SimScale: proportional slicing preserves per-SM work."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.config.model import PAPER_MODEL
+from repro.config.scale import BENCH_SCALE, FULL_SCALE, SCALES, SimScale
+
+
+class TestApply:
+    def test_full_scale_reproduces_paper_workload(self):
+        wl = FULL_SCALE.apply(A100_SXM4_80GB, PAPER_MODEL)
+        assert wl.batch_size == 2048
+        assert wl.table_rows == 500_000
+        assert wl.factor == 1.0
+
+    def test_bench_scale_proportions(self):
+        wl = BENCH_SCALE.apply(A100_SXM4_80GB, PAPER_MODEL)
+        assert wl.gpu.num_sms == 6
+        # per-SM resident work stays close to full scale
+        full_per_sm = 2048 / 108
+        sliced_per_sm = wl.batch_size / 6
+        assert abs(sliced_per_sm - full_per_sm) / full_per_sm < 0.15
+
+    def test_pooling_factor_never_scales(self):
+        wl = BENCH_SCALE.apply(A100_SXM4_80GB, PAPER_MODEL)
+        assert wl.pooling_factor == PAPER_MODEL.pooling_factor
+
+    def test_batch_is_whole_blocks(self):
+        # 8 warps/block, 4 warps/sample -> batch must be even
+        for sms in (1, 2, 5, 6, 13):
+            wl = SimScale("t", sms).apply(A100_SXM4_80GB, PAPER_MODEL)
+            assert wl.batch_size % 2 == 0
+            assert wl.batch_size >= 4
+
+    def test_footprint_to_l2_ratio_preserved(self):
+        full = FULL_SCALE.apply(A100_SXM4_80GB, PAPER_MODEL)
+        sliced = BENCH_SCALE.apply(A100_SXM4_80GB, PAPER_MODEL)
+        full_ratio = full.accesses_per_table / full.gpu.l2_bytes
+        sliced_ratio = sliced.accesses_per_table / sliced.gpu.l2_bytes
+        assert sliced_ratio == pytest.approx(full_ratio, rel=0.15)
+
+    def test_h100_slice(self):
+        wl = SimScale("t", 6).apply(H100_NVL, PAPER_MODEL)
+        assert wl.gpu.num_sms == 6
+        assert wl.batch_size >= 4
+
+    def test_registry(self):
+        assert set(SCALES) == {"test", "bench", "full"}

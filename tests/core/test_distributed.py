@@ -1,0 +1,88 @@
+"""Distributed (model-parallel) embedding stage extension."""
+
+import pytest
+
+from repro.config.scale import SimScale
+from repro.core.distributed import (
+    allgather_us,
+    lpt_shard,
+    run_distributed_stage,
+)
+from repro.core.embedding import kernel_workload
+from repro.core.schemes import BASE, RPF_L2P_OPTMT
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return kernel_workload(
+        scale=SimScale("dist", 2),
+        batch_size=16, pooling_factor=24, table_rows=8192,
+    )
+
+
+class TestLptSharding:
+    def test_balances_homogeneous_tables(self):
+        placement = lpt_shard({"a": 10.0}, {"a": 8}, n_gpus=4)
+        assert [len(p) for p in placement] == [2, 2, 2, 2]
+
+    def test_heavy_tables_spread_first(self):
+        times = {"hot": 1.0, "cold": 10.0}
+        placement = lpt_shard(times, {"hot": 2, "cold": 2}, n_gpus=2)
+        for shard in placement:
+            assert "cold" in shard  # one heavy table per GPU
+
+    def test_single_gpu_gets_everything(self):
+        placement = lpt_shard({"a": 1.0}, {"a": 5}, n_gpus=1)
+        assert len(placement[0]) == 5
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            lpt_shard({"a": 1.0}, {"a": 1}, n_gpus=0)
+
+
+class TestAllGather:
+    def test_single_gpu_free(self, wl):
+        assert allgather_us(wl, 250, 1) == 0.0
+
+    def test_grows_with_gpus_remote_fraction(self, wl):
+        two = allgather_us(wl, 250, 2)
+        four = allgather_us(wl, 250, 4)
+        assert 0 < two < four
+
+
+class TestDistributedStage:
+    def test_all_tables_placed(self, wl):
+        result = run_distributed_stage(
+            wl, {"high_hot": 5, "random": 3}, BASE, n_gpus=2,
+        )
+        placed = sum(len(s.tables) for s in result.shards)
+        assert placed == 8
+        assert result.n_gpus == 2
+
+    def test_critical_path_is_slowest_shard_plus_gather(self, wl):
+        result = run_distributed_stage(
+            wl, {"high_hot": 4, "random": 4}, BASE, n_gpus=2,
+        )
+        slowest = max(s.compute_us for s in result.shards)
+        assert result.critical_path_us == pytest.approx(
+            slowest + result.allgather_us
+        )
+
+    def test_lpt_keeps_imbalance_low(self, wl):
+        result = run_distributed_stage(
+            wl, {"high_hot": 6, "med_hot": 6, "random": 4}, BASE, n_gpus=4,
+        )
+        assert result.imbalance < 1.6
+
+    def test_schemes_speed_up_distributed_stage(self, wl):
+        base = run_distributed_stage(
+            wl, {"random": 8}, BASE, n_gpus=2,
+        )
+        opt = run_distributed_stage(
+            wl, {"random": 8}, RPF_L2P_OPTMT, n_gpus=2,
+        )
+        assert opt.speedup_over(base) > 1.0
+
+    def test_empty_mix_rejected(self, wl):
+        with pytest.raises(ValueError):
+            run_distributed_stage(wl, {}, BASE, n_gpus=2)

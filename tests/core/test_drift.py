@@ -1,0 +1,99 @@
+"""Drift + periodic re-pinning extension (Section IV-C follow-through)."""
+
+import numpy as np
+import pytest
+
+from repro.config.scale import SimScale
+from repro.core.drift import DriftModel, serve_with_drift
+from repro.core.embedding import kernel_workload
+from repro.core.schemes import BASE, Scheme
+from repro.datasets.spec import HOTNESS_PRESETS
+from tests.conftest import make_trace
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return kernel_workload(
+        scale=SimScale("drift", 2),
+        batch_size=16, pooling_factor=24, table_rows=8192,
+    )
+
+
+class TestDriftModel:
+    def test_step_zero_is_identity(self):
+        trace = make_trace("high_hot")
+        assert DriftModel(0.2).apply(trace, 0) is trace
+
+    def test_zero_rate_is_identity(self):
+        trace = make_trace("high_hot")
+        assert DriftModel(0.0).apply(trace, 5) is trace
+
+    def test_drift_preserves_frequency_shape(self):
+        trace = make_trace("high_hot")
+        drifted = DriftModel(0.3, seed=1).apply(trace, 1)
+        original = np.sort(np.unique(trace.indices, return_counts=True)[1])
+        after = np.sort(np.unique(drifted.indices, return_counts=True)[1])
+        np.testing.assert_array_equal(original, after)
+
+    def test_drift_changes_hot_identities(self):
+        trace = make_trace("high_hot")
+        drifted = DriftModel(0.5, seed=1).apply(trace, 2)
+        before = set(np.unique(trace.indices).tolist())
+        after = set(np.unique(drifted.indices).tolist())
+        assert before != after
+
+    def test_more_steps_more_divergence(self):
+        trace = make_trace("high_hot")
+        model = DriftModel(0.2, seed=1)
+        one = set(np.unique(model.apply(trace, 1).indices).tolist())
+        five = set(np.unique(model.apply(trace, 5).indices).tolist())
+        base = set(np.unique(trace.indices).tolist())
+        assert len(base & five) <= len(base & one)
+
+    def test_deterministic(self):
+        trace = make_trace("med_hot")
+        a = DriftModel(0.2, seed=3).apply(trace, 2)
+        b = DriftModel(0.2, seed=3).apply(trace, 2)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DriftModel(1.5)
+
+
+class TestServeWithDrift:
+    def test_pin_once_coverage_decays(self, wl):
+        report = serve_with_drift(
+            wl, HOTNESS_PRESETS["high_hot"],
+            n_batches=4, drift=DriftModel(0.25, seed=2),
+        )
+        assert report.policy == "pin-once"
+        assert report.repin_count == 0
+        assert report.steps[-1].pin_coverage < report.steps[0].pin_coverage
+
+    def test_repinning_restores_coverage(self, wl):
+        drift = DriftModel(0.25, seed=2)
+        stale = serve_with_drift(
+            wl, HOTNESS_PRESETS["high_hot"], n_batches=4, drift=drift,
+        )
+        fresh = serve_with_drift(
+            wl, HOTNESS_PRESETS["high_hot"], n_batches=4, drift=drift,
+            repin_every=1,
+        )
+        assert fresh.repin_count > 0
+        assert fresh.final_coverage > stale.final_coverage
+
+    def test_requires_pinning_scheme(self, wl):
+        with pytest.raises(ValueError):
+            serve_with_drift(
+                wl, HOTNESS_PRESETS["high_hot"], scheme=BASE,
+            )
+
+    def test_custom_scheme_accepted(self, wl):
+        report = serve_with_drift(
+            wl, HOTNESS_PRESETS["high_hot"],
+            n_batches=2,
+            scheme=Scheme(l2_pinning=True),
+        )
+        assert len(report.steps) == 2
+        assert report.mean_time_us > 0

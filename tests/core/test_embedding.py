@@ -1,0 +1,143 @@
+"""Core embedding runner: profiles, scheme effects, stage aggregation."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.config.model import PAPER_MODEL
+from repro.config.scale import SimScale
+from repro.core.embedding import (
+    kernel_workload,
+    run_embedding_stage,
+    run_table_kernel,
+)
+from repro.core.schemes import BASE, L2P, OPTMT, RPF_OPTMT, Scheme
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.kernels.embedding_bag import expected_global_loads
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return kernel_workload(
+        A100_SXM4_80GB, PAPER_MODEL, SimScale("unit", 2),
+        batch_size=16, pooling_factor=24, table_rows=4096,
+    )
+
+
+class TestWorkloadResolution:
+    def test_defaults_from_scale(self):
+        workload = kernel_workload(scale=SimScale("unit", 2))
+        assert workload.gpu.num_sms == 2
+        assert workload.pooling_factor == 150
+        assert workload.factor == pytest.approx(2 / 108)
+
+    def test_overrides(self, wl):
+        assert wl.batch_size == 16
+        assert wl.pooling_factor == 24
+        assert wl.accesses == 16 * 24
+
+
+class TestTableKernel:
+    def test_profile_sanity(self, wl):
+        result = run_table_kernel(wl, HOTNESS_PRESETS["random"], BASE)
+        p = result.profile
+        assert p.kernel_time_us > 0
+        assert 0 < p.issued_per_scheduler <= 1.0
+        assert 0 <= p.l1_hit_pct <= 100
+        assert 0 <= p.l2_hit_pct <= 100
+        # load instructions match the kernel's analytic count (scaled)
+        raw_loads = p.load_insts_m * 1e6 * wl.factor
+        assert raw_loads == pytest.approx(
+            expected_global_loads_total(wl), rel=0.01
+        )
+
+    def test_determinism(self, wl):
+        a = run_table_kernel(wl, HOTNESS_PRESETS["med_hot"], BASE)
+        b = run_table_kernel(wl, HOTNESS_PRESETS["med_hot"], BASE)
+        assert a.profile.kernel_time_us == b.profile.kernel_time_us
+        assert a.profile.l2_hit_pct == b.profile.l2_hit_pct
+
+    def test_one_item_is_fastest(self, wl):
+        one = run_table_kernel(wl, HOTNESS_PRESETS["one_item"], BASE)
+        rand = run_table_kernel(wl, HOTNESS_PRESETS["random"], BASE)
+        assert one.profile.kernel_time_us < rand.profile.kernel_time_us
+
+    def test_optmt_raises_occupancy(self, wl):
+        result = run_table_kernel(wl, HOTNESS_PRESETS["random"], OPTMT)
+        assert result.build.warps_per_sm == 40
+        assert result.profile.occupancy_warps == 40
+
+    def test_l2p_pins_and_reports_coverage(self, wl):
+        result = run_table_kernel(wl, HOTNESS_PRESETS["high_hot"], L2P)
+        assert result.pinned_lines > 0
+        assert result.pin_coverage > 0.5  # hot set fits the set-aside
+
+    def test_pin_kernel_timing_optional(self, wl):
+        without = run_table_kernel(wl, HOTNESS_PRESETS["high_hot"], L2P)
+        with_timing = run_table_kernel(
+            wl, HOTNESS_PRESETS["high_hot"], L2P, time_pin_kernel=True,
+        )
+        assert without.pin_kernel_us == 0.0
+        assert with_timing.pin_kernel_us > 0.0
+        # pin-kernel timing must not change the measured kernel
+        assert with_timing.profile.kernel_time_us == pytest.approx(
+            without.profile.kernel_time_us
+        )
+
+    def test_no_pinning_for_plain_schemes(self, wl):
+        result = run_table_kernel(wl, HOTNESS_PRESETS["high_hot"], BASE)
+        assert result.pinned_lines == 0
+        assert result.pin_coverage == 0.0
+
+    def test_custom_trace_accepted(self, wl, trace_factory):
+        trace = trace_factory("random", batch=16, pooling=24, rows=4096)
+        result = run_table_kernel(
+            wl, HOTNESS_PRESETS["random"], BASE, trace=trace
+        )
+        assert result.dataset == "random"
+
+
+def expected_global_loads_total(wl):
+    from repro.datasets.generator import generate_trace
+
+    trace = generate_trace(
+        HOTNESS_PRESETS["random"],
+        batch_size=wl.batch_size,
+        pooling_factor=wl.pooling_factor,
+        table_rows=wl.table_rows,
+        seed=0,
+    )
+    return expected_global_loads(trace, wl.row_bytes)
+
+
+class TestEmbeddingStage:
+    def test_homogeneous_stage_weighting(self, wl):
+        stage = run_embedding_stage(wl, {"med_hot": 10}, BASE)
+        kernel = stage.per_table["med_hot"]
+        expected = 10 * (kernel.kernel_time_us + stage.launch_overhead_us)
+        assert stage.total_time_us == pytest.approx(expected)
+        assert stage.num_tables == 10
+
+    def test_heterogeneous_stage(self, wl):
+        stage = run_embedding_stage(
+            wl, {"high_hot": 3, "random": 2}, BASE
+        )
+        assert set(stage.per_table) == {"high_hot", "random"}
+        hot = stage.per_table["high_hot"].kernel_time_us
+        cold = stage.per_table["random"].kernel_time_us
+        launch = stage.launch_overhead_us
+        assert stage.total_time_us == pytest.approx(
+            3 * (hot + launch) + 2 * (cold + launch)
+        )
+
+    def test_empty_mix_rejected(self, wl):
+        with pytest.raises(ValueError):
+            run_embedding_stage(wl, {}, BASE)
+
+    def test_nonpositive_count_rejected(self, wl):
+        with pytest.raises(ValueError):
+            run_embedding_stage(wl, {"random": 0}, BASE)
+
+    def test_schemes_shift_stage_total(self, wl):
+        base = run_embedding_stage(wl, {"random": 5}, BASE)
+        opt = run_embedding_stage(wl, {"random": 5}, RPF_OPTMT)
+        assert opt.total_time_us < base.total_time_us

@@ -1,0 +1,62 @@
+"""End-to-end pipeline latency composition."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.config.scale import SimScale
+from repro.core.embedding import kernel_workload
+from repro.core.pipeline import run_inference, speedup
+from repro.core.schemes import BASE, OPTMT
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return kernel_workload(
+        scale=SimScale("unit", 2),
+        batch_size=16, pooling_factor=24, table_rows=4096,
+    )
+
+
+class TestRunInference:
+    def test_homogeneous_dataset_by_name(self, small_workload):
+        result = run_inference("random", BASE, workload=small_workload)
+        assert result.mix == {"random": 250}
+        assert result.batch_latency_ms > 0
+        assert 0 < result.embedding_share_pct < 100
+
+    def test_latency_composition(self, small_workload):
+        result = run_inference("med_hot", BASE, workload=small_workload)
+        total_us = result.embedding_us + result.non_embedding_us
+        assert result.batch_latency_ms == pytest.approx(total_us / 1e3)
+
+    def test_heterogeneous_mix(self, small_workload):
+        result = run_inference(
+            {"high_hot": 150, "random": 100}, BASE,
+            workload=small_workload,
+        )
+        assert result.embedding.num_tables == 250
+
+    def test_mix_must_cover_model_tables(self, small_workload):
+        with pytest.raises(ValueError):
+            run_inference({"random": 7}, BASE, workload=small_workload)
+
+    def test_embedding_dominates_for_paper_model(self):
+        # with the paper's pooling factor (150), the embedding stage
+        # dominates end-to-end latency (Fig. 1/14)
+        workload = kernel_workload(scale=SimScale("unit", 2))
+        result = run_inference("random", BASE, workload=workload)
+        assert result.embedding_share_pct > 50.0
+
+    def test_optmt_improves_end_to_end(self, small_workload):
+        base = run_inference("random", BASE, workload=small_workload)
+        opt = run_inference("random", OPTMT, workload=small_workload)
+        assert speedup(base, opt) > 1.0
+        # the embedding-only gain is diluted by non-embedding stages
+        emb_gain = base.embedding_us / opt.embedding_us
+        assert speedup(base, opt) < emb_gain
+
+
+class TestSpeedup:
+    def test_identity(self, small_workload):
+        result = run_inference("high_hot", BASE, workload=small_workload)
+        assert speedup(result, result) == 1.0

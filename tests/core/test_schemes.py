@@ -1,0 +1,107 @@
+"""Scheme composition and the paper's '+' nomenclature."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.core.schemes import (
+    BASE,
+    FIG12_SCHEMES,
+    L2P_OPTMT,
+    OPTMT,
+    RPF_L2P_OPTMT,
+    RPF_OPTMT,
+    SMPF,
+    Scheme,
+)
+
+
+class TestNames:
+    @pytest.mark.parametrize("scheme,name", [
+        (BASE, "base"),
+        (OPTMT, "OptMT"),
+        (RPF_OPTMT, "RPF+OptMT"),
+        (L2P_OPTMT, "L2P+OptMT"),
+        (RPF_L2P_OPTMT, "RPF+L2P+OptMT"),
+        (SMPF, "SMPF"),
+    ])
+    def test_paper_nomenclature(self, scheme, name):
+        assert scheme.name == name
+
+    def test_explicit_cap_named(self):
+        assert Scheme(maxrregcount=42).name == "maxrreg42"
+
+
+class TestParse:
+    @pytest.mark.parametrize("name", [
+        "base", "OptMT", "RPF+OptMT", "L2P+OptMT", "RPF+L2P+OptMT",
+        "SMPF", "LMPF", "L1DPF", "SMPF+L2P",
+    ])
+    def test_round_trip(self, name):
+        assert Scheme.parse(name).name == name
+
+    def test_parse_rejects_unknown_token(self):
+        with pytest.raises(ValueError):
+            Scheme.parse("RPF+TURBO")
+
+    def test_parse_rejects_two_prefetchers(self):
+        with pytest.raises(ValueError):
+            Scheme.parse("RPF+SMPF")
+
+    def test_parse_empty_is_base(self):
+        assert Scheme.parse("") == BASE
+
+
+class TestValidation:
+    def test_bad_prefetch_kind(self):
+        with pytest.raises(ValueError):
+            Scheme(prefetch="l4")
+
+    def test_bad_distance(self):
+        with pytest.raises(ValueError):
+            Scheme(prefetch="register", prefetch_distance=0)
+
+    def test_optmt_and_cap_conflict(self):
+        with pytest.raises(ValueError):
+            Scheme(optmt=True, maxrregcount=40)
+
+
+class TestResolution:
+    def test_default_distance_with_optmt_is_2(self):
+        assert RPF_OPTMT.resolved_distance() == 2
+
+    def test_default_distance_without_optmt(self):
+        # Section VI-B2: {RPF 4, SMPF 10, LMPF 10, L1DPF 5}
+        assert Scheme(prefetch="register").resolved_distance() == 4
+        assert Scheme(prefetch="shared").resolved_distance() == 10
+        assert Scheme(prefetch="local").resolved_distance() == 10
+        assert Scheme(prefetch="l1d").resolved_distance() == 5
+
+    def test_explicit_distance_wins(self):
+        assert RPF_OPTMT.with_distance(7).resolved_distance() == 7
+
+    def test_no_prefetch_distance_zero(self):
+        assert BASE.resolved_distance() == 0
+
+    def test_maxrreg_resolution(self):
+        assert BASE.resolved_maxrreg(A100_SXM4_80GB) is None
+        assert OPTMT.resolved_maxrreg(A100_SXM4_80GB) == 48
+        assert OPTMT.resolved_maxrreg(H100_NVL) == 64
+        assert Scheme(maxrregcount=40).resolved_maxrreg(A100_SXM4_80GB) == 40
+
+
+class TestCompile:
+    def test_compile_base(self):
+        build = BASE.compile(A100_SXM4_80GB)
+        assert build.warps_per_sm == 24
+
+    def test_compile_combined(self):
+        build = RPF_L2P_OPTMT.compile(A100_SXM4_80GB)
+        assert build.prefetch == "register"
+        assert build.prefetch_distance == 2
+        assert build.warps_per_sm == 40
+        assert build.spilled_regs > 0
+
+    def test_fig12_lineup(self):
+        assert [s.name for s in FIG12_SCHEMES] == [
+            "OptMT", "RPF+OptMT", "L2P+OptMT", "RPF+L2P+OptMT",
+        ]

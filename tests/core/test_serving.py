@@ -1,0 +1,108 @@
+"""Serving-layer simulation: batching, tails, sustainable load."""
+
+import pytest
+
+from repro.core.serving import (
+    BatchingPolicy,
+    interpolated_latency_model,
+    max_sustainable_qps,
+    simulate_serving,
+)
+
+
+def linear_model(batch):
+    # 10 ms fixed + 10 us per query
+    return 10.0 + 0.01 * batch
+
+
+class TestLatencyModel:
+    def test_interpolation(self):
+        model = interpolated_latency_model([512, 2048], [30.0, 90.0])
+        assert model(512) == pytest.approx(30.0)
+        assert model(1280) == pytest.approx(60.0)
+        assert model(2048) == pytest.approx(90.0)
+
+    def test_clamps_outside_range(self):
+        model = interpolated_latency_model([512, 2048], [30.0, 90.0])
+        assert model(100) == pytest.approx(30.0)
+        assert model(10_000) == pytest.approx(90.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interpolated_latency_model([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            interpolated_latency_model([], [])
+
+
+class TestSimulateServing:
+    def test_light_load_low_latency(self):
+        report = simulate_serving(
+            linear_model, qps=50, duration_s=5.0,
+            policy=BatchingPolicy(max_batch=64, timeout_ms=1.0),
+        )
+        # mostly singleton batches served immediately: ~exec + timeout
+        assert report.p50_ms < 25.0
+        assert report.mean_batch_size < 8
+        assert report.gpu_utilization < 0.9
+
+    def test_overload_grows_tail(self):
+        light = simulate_serving(
+            linear_model, qps=50, duration_s=5.0, seed=1,
+        )
+        heavy = simulate_serving(
+            linear_model, qps=5_000, duration_s=5.0, seed=1,
+        )
+        assert heavy.p99_ms > light.p99_ms
+        assert heavy.mean_batch_size > light.mean_batch_size
+
+    def test_batching_amortizes_under_load(self):
+        # big batches keep utilization below 100% even at high qps
+        report = simulate_serving(
+            linear_model, qps=20_000, duration_s=2.0,
+            policy=BatchingPolicy(max_batch=2048, timeout_ms=5.0),
+        )
+        assert report.mean_batch_size > 100
+        assert report.n_queries == 40_000
+
+    def test_percentiles_ordered(self):
+        report = simulate_serving(linear_model, qps=500, duration_s=3.0)
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+
+    def test_deterministic_by_seed(self):
+        a = simulate_serving(linear_model, qps=500, seed=3)
+        b = simulate_serving(linear_model, qps=500, seed=3)
+        assert a.p99_ms == b.p99_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_serving(linear_model, qps=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(timeout_ms=-1)
+
+
+class TestSustainableQps:
+    def test_faster_model_sustains_more(self):
+        slow = interpolated_latency_model([1, 2048], [40.0, 90.0])
+        fast = interpolated_latency_model([1, 2048], [20.0, 50.0])
+        qps_slow, _ = max_sustainable_qps(
+            slow, sla_ms=100.0, qps_grid=(1000, 4000, 16000, 64000),
+        )
+        qps_fast, _ = max_sustainable_qps(
+            fast, sla_ms=100.0, qps_grid=(1000, 4000, 16000, 64000),
+        )
+        assert qps_fast >= qps_slow
+
+    def test_impossible_sla_yields_zero(self):
+        model = interpolated_latency_model([1, 2048], [500.0, 900.0])
+        qps, reports = max_sustainable_qps(
+            model, sla_ms=10.0, qps_grid=(100, 1000),
+        )
+        assert qps == 0.0
+        assert len(reports) == 2
+
+    def test_sla_check_percentile(self):
+        report = simulate_serving(linear_model, qps=100, duration_s=2.0)
+        assert report.meets_sla(10_000.0)
+        assert not report.meets_sla(0.001)

@@ -1,0 +1,71 @@
+"""The Section VII static profiling framework."""
+
+import pytest
+
+from repro.config.scale import SimScale
+from repro.core.embedding import kernel_workload
+from repro.core.tuner import autotune
+from repro.datasets.spec import HOTNESS_PRESETS
+
+
+@pytest.fixture(scope="module")
+def tuning_workload():
+    return kernel_workload(
+        scale=SimScale("unit", 2),
+        batch_size=16, pooling_factor=24, table_rows=4096,
+    )
+
+
+@pytest.fixture(scope="module")
+def random_report(tuning_workload):
+    return autotune(
+        HOTNESS_PRESETS["random"],
+        workload=tuning_workload,
+        warp_targets=(32, 40),
+        distances=(2, 4),
+        buffers=("register", "shared"),
+    )
+
+
+class TestLatencyBoundPath:
+    def test_random_is_diagnosed_latency_bound(self, random_report):
+        steps = {s.step: s for s in random_report.steps}
+        assert "memory-latency bound" in \
+            steps["i: latency-bound check"].decision
+
+    def test_framework_improves_on_base(self, random_report):
+        assert random_report.speedup > 1.0
+        assert random_report.final is not None
+        assert (
+            random_report.final.profile.kernel_time_us
+            <= random_report.baseline.profile.kernel_time_us
+        )
+
+    def test_chosen_scheme_raises_occupancy(self, random_report):
+        assert random_report.scheme.maxrregcount is not None
+        assert random_report.final.build.warps_per_sm > 24
+
+    def test_evidence_recorded(self, random_report):
+        first = random_report.steps[0]
+        assert "long_scoreboard_stall_per_inst" in first.evidence
+        assert "hbm_bw_util_pct" in first.evidence
+
+    def test_describe_renders(self, random_report):
+        text = random_report.describe()
+        assert "Static profiling framework" in text
+        assert "=> scheme:" in text
+        assert random_report.scheme.name in text
+
+
+class TestEarlyExitPath:
+    def test_one_item_is_not_latency_bound(self, tuning_workload):
+        report = autotune(
+            HOTNESS_PRESETS["one_item"],
+            workload=tuning_workload,
+            warp_targets=(32,),
+            distances=(2,),
+            buffers=("register",),
+        )
+        assert report.scheme.name == "base"
+        assert "not latency bound" in report.steps[0].decision
+        assert report.speedup == pytest.approx(1.0)

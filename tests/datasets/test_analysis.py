@@ -1,0 +1,58 @@
+"""Trace analysis: coverage curves and hot-row extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.analysis import (
+    access_counts,
+    coverage_at,
+    coverage_curve,
+    top_hot_rows,
+    unique_access_pct,
+    working_set_bytes,
+)
+from repro.datasets.trace import EmbeddingTrace
+
+
+def crafted_trace():
+    # row 7 appears 5x, row 3 appears 3x, rows 1 and 2 once each
+    indices = np.array([7] * 5 + [3] * 3 + [1, 2], dtype=np.int64)
+    offsets = np.array([0, 5, 10], dtype=np.int64)
+    return EmbeddingTrace("crafted", indices, offsets, table_rows=10)
+
+
+class TestAccessCounts:
+    def test_sorted_by_frequency(self):
+        rows, counts = access_counts(crafted_trace())
+        assert rows[0] == 7 and counts[0] == 5
+        assert rows[1] == 3 and counts[1] == 3
+        assert set(rows[2:]) == {1, 2}
+
+    def test_top_hot_rows(self):
+        assert top_hot_rows(crafted_trace(), 2).tolist() == [7, 3]
+
+    def test_top_hot_rows_larger_k_than_unique(self):
+        assert len(top_hot_rows(crafted_trace(), 100)) == 4
+
+
+class TestCoverage:
+    def test_coverage_curve_monotone_to_100(self):
+        pct_unique, pct_access = coverage_curve(crafted_trace(), points=4)
+        assert list(pct_unique) == [25.0, 50.0, 75.0, 100.0]
+        assert list(pct_access) == sorted(pct_access)
+        assert pct_access[-1] == pytest.approx(100.0)
+
+    def test_coverage_at_top_row(self):
+        # top 25% of 4 unique rows = row 7 = 5/10 accesses
+        assert coverage_at(crafted_trace(), 25.0) == pytest.approx(50.0)
+
+    def test_coverage_at_everything(self):
+        assert coverage_at(crafted_trace(), 100.0) == pytest.approx(100.0)
+
+
+class TestSimpleMetrics:
+    def test_unique_access_pct(self):
+        assert unique_access_pct(crafted_trace()) == pytest.approx(40.0)
+
+    def test_working_set_bytes(self):
+        assert working_set_bytes(crafted_trace(), row_bytes=512) == 4 * 512

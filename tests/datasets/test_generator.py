@@ -1,0 +1,148 @@
+"""Trace generation: uniqueness control, coverage shape, stable layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.analysis import coverage_at, top_hot_rows
+from repro.datasets.generator import (
+    fit_zipf_exponent,
+    generate_tables,
+    generate_trace,
+)
+from repro.datasets.spec import HOTNESS_PRESETS, DatasetSpec
+
+BATCH, POOL, ROWS = 64, 50, 50_000
+
+
+def gen(name, seed=0, batch=BATCH, pool=POOL, rows=ROWS):
+    return generate_trace(
+        HOTNESS_PRESETS[name],
+        batch_size=batch, pooling_factor=pool, table_rows=rows, seed=seed,
+    )
+
+
+class TestUniqueAccessControl:
+    @pytest.mark.parametrize("name,target", [
+        ("high_hot", 4.05), ("med_hot", 20.50), ("low_hot", 46.21),
+    ])
+    def test_zipf_uniqueness_is_exact(self, name, target):
+        trace = gen(name)
+        assert trace.unique_access_pct == pytest.approx(target, abs=0.2)
+
+    def test_one_item_touches_one_row(self):
+        assert gen("one_item").n_unique == 1
+
+    def test_random_uniqueness_near_one_minus_1_over_e(self):
+        trace = gen("random", batch=256)
+        assert trace.unique_access_pct == pytest.approx(63.21, abs=2.5)
+
+    def test_uniqueness_capped_by_table(self):
+        trace = generate_trace(
+            HOTNESS_PRESETS["low_hot"],
+            batch_size=64, pooling_factor=50, table_rows=100, seed=0,
+        )
+        assert trace.n_unique <= 100
+
+
+class TestCoverageShape:
+    def test_high_hot_top10_covers_about_68pct(self):
+        assert coverage_at(gen("high_hot"), 10.0) == pytest.approx(
+            68.0, abs=5.0
+        )
+
+    def test_hotness_ordering_of_concentration(self):
+        cov = {n: coverage_at(gen(n), 10.0)
+               for n in ("high_hot", "med_hot", "low_hot")}
+        assert cov["high_hot"] > cov["med_hot"] > cov["low_hot"]
+
+
+class TestStableLayout:
+    """Popularity belongs to the catalogue, not to one batch."""
+
+    @pytest.mark.parametrize("name", ["high_hot", "med_hot"])
+    def test_hot_rows_stable_across_seeds(self, name):
+        a = set(top_hot_rows(gen(name, seed=1), 50).tolist())
+        b = set(top_hot_rows(gen(name, seed=2), 50).tolist())
+        overlap = len(a & b) / 50
+        assert overlap > 0.8
+
+    def test_one_item_row_stable_across_seeds(self):
+        assert gen("one_item", seed=1).indices[0] == \
+            gen("one_item", seed=2).indices[0]
+
+    def test_sequences_differ_across_seeds(self):
+        assert not np.array_equal(
+            gen("high_hot", seed=1).indices, gen("high_hot", seed=2).indices
+        )
+
+    def test_same_seed_is_deterministic(self):
+        assert np.array_equal(
+            gen("random", seed=7).indices, gen("random", seed=7).indices
+        )
+
+
+class TestZipfFit:
+    def test_fit_hits_target_coverage(self):
+        s = fit_zipf_exponent(1000, 0.1, 0.68)
+        ranks = np.arange(1, 1001.0)
+        w = ranks ** -s
+        assert w[:100].sum() / w.sum() == pytest.approx(0.68, abs=0.01)
+
+    def test_fit_monotone_in_target(self):
+        assert fit_zipf_exponent(1000, 0.1, 0.9) > \
+            fit_zipf_exponent(1000, 0.1, 0.3)
+
+    def test_degenerate_single_item(self):
+        assert fit_zipf_exponent(1, 0.1, 0.5) == 0.0
+
+    def test_saturates_at_max_exponent(self):
+        assert fit_zipf_exponent(10, 0.1, 0.999999) == 8.0
+
+
+class TestStructure:
+    def test_offsets_are_fixed_pooling(self):
+        trace = gen("med_hot")
+        assert np.all(trace.pooling_factors() == POOL)
+
+    def test_errors_on_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_trace(HOTNESS_PRESETS["random"], batch_size=0,
+                           pooling_factor=1, table_rows=10)
+        with pytest.raises(ValueError):
+            generate_trace(HOTNESS_PRESETS["random"], batch_size=1,
+                           pooling_factor=0, table_rows=10)
+
+    def test_generate_tables_independent_sequences(self):
+        tables = generate_tables(
+            HOTNESS_PRESETS["high_hot"], num_tables=3,
+            batch_size=16, pooling_factor=10, table_rows=1000,
+        )
+        assert len(tables) == 3
+        assert not np.array_equal(tables[0].indices, tables[1].indices)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 64),
+        pool=st.integers(1, 40),
+        rows=st.integers(64, 5000),
+        name=st.sampled_from(list(HOTNESS_PRESETS)),
+    )
+    def test_any_generated_trace_is_valid(self, batch, pool, rows, name):
+        trace = generate_trace(
+            HOTNESS_PRESETS[name],
+            batch_size=batch, pooling_factor=pool, table_rows=rows, seed=3,
+        )
+        assert trace.n_accesses == batch * pool
+        assert trace.indices.min() >= 0
+        assert trace.indices.max() < rows
+        assert 0 < trace.unique_access_pct <= 100.0
+
+
+class TestCustomSpecs:
+    def test_custom_zipf_spec(self):
+        spec = DatasetSpec("custom", "zipf", 10.0, top10_coverage=0.5)
+        trace = generate_trace(
+            spec, batch_size=64, pooling_factor=50, table_rows=10_000,
+        )
+        assert trace.unique_access_pct == pytest.approx(10.0, abs=0.2)

@@ -1,0 +1,77 @@
+"""Graph gather traces (generalizability substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.analysis import coverage_at
+from repro.datasets.graph import barabasi_albert_trace, csr_trace
+
+
+class TestBarabasiAlbert:
+    def test_structure(self):
+        trace = barabasi_albert_trace(num_vertices=300, attachment=3)
+        assert trace.batch_size == 300
+        assert trace.table_rows == 300
+        assert trace.n_accesses == len(trace.indices)
+        # undirected BA graph: 3 edges per new vertex, counted twice
+        assert trace.n_accesses == pytest.approx(2 * 3 * 297, rel=0.02)
+
+    def test_power_law_reuse(self):
+        trace = barabasi_albert_trace(num_vertices=500, attachment=4)
+        # hubs concentrate accesses: top 10% of vertices cover far more
+        # than 10% of gathers (the property pinning exploits)
+        assert coverage_at(trace, 10.0) > 25.0
+
+    def test_variable_pooling(self):
+        trace = barabasi_albert_trace(num_vertices=200, attachment=2)
+        degrees = trace.pooling_factors()
+        assert degrees.min() >= 1
+        assert degrees.max() > degrees.min()
+
+    def test_batched_layer(self):
+        trace = barabasi_albert_trace(
+            num_vertices=300, attachment=3, batch_vertices=50
+        )
+        assert trace.batch_size == 50
+
+    def test_determinism(self):
+        a = barabasi_albert_trace(num_vertices=100, attachment=2, seed=1)
+        b = barabasi_albert_trace(num_vertices=100, attachment=2, seed=1)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_trace(num_vertices=3, attachment=3)
+
+
+class TestCsr:
+    def test_wraps_adjacency(self):
+        indptr = np.array([0, 2, 3])
+        cols = np.array([1, 4, 0])
+        trace = csr_trace(indptr, cols, num_rows_in_table=5)
+        assert trace.batch_size == 2
+        assert trace.sample_rows(0).tolist() == [1, 4]
+        assert trace.sample_rows(1).tolist() == [0]
+
+
+class TestSchemesApplyToGraphs:
+    def test_kernel_stack_runs_on_graph_trace(self):
+        from repro.config.scale import SimScale
+        from repro.core.embedding import kernel_workload, run_table_kernel
+        from repro.core.schemes import BASE, OPTMT
+        from repro.datasets.spec import DatasetSpec
+
+        trace = barabasi_albert_trace(
+            num_vertices=2000, attachment=6, batch_vertices=16
+        )
+        wl = kernel_workload(
+            scale=SimScale("graph", 2),
+            batch_size=trace.batch_size,
+            table_rows=trace.table_rows,
+        )
+        spec = DatasetSpec("graph_ba", "uniform", 50.0)
+        base = run_table_kernel(wl, spec, BASE, trace=trace)
+        opt = run_table_kernel(wl, spec, OPTMT, trace=trace)
+        assert base.profile.kernel_time_us > 0
+        # the same WLP optimization transfers to the graph gather
+        assert opt.profile.kernel_time_us < base.profile.kernel_time_us

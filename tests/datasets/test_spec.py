@@ -1,0 +1,61 @@
+"""Dataset specifications and the Table VII mixes."""
+
+import pytest
+
+from repro.datasets.spec import (
+    EVAL_PRESETS,
+    HOTNESS_PRESETS,
+    TABLE_MIXES,
+    DatasetSpec,
+)
+
+
+class TestPresets:
+    def test_five_presets_in_hotness_order(self):
+        assert list(HOTNESS_PRESETS) == [
+            "one_item", "high_hot", "med_hot", "low_hot", "random",
+        ]
+
+    def test_unique_access_targets_match_table3(self):
+        targets = {
+            "one_item": 0.0002, "high_hot": 4.05, "med_hot": 20.50,
+            "low_hot": 46.21, "random": 63.21,
+        }
+        for name, expected in targets.items():
+            assert HOTNESS_PRESETS[name].unique_access_pct == expected
+
+    def test_eval_presets_exclude_one_item(self):
+        assert "one_item" not in EVAL_PRESETS
+        assert len(EVAL_PRESETS) == 4
+
+    def test_coverage_anchor_decreases_with_hotness(self):
+        assert (
+            HOTNESS_PRESETS["high_hot"].top10_coverage
+            > HOTNESS_PRESETS["med_hot"].top10_coverage
+            > HOTNESS_PRESETS["low_hot"].top10_coverage
+        )
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "weird", 1.0)
+
+    def test_zipf_needs_coverage(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "zipf", 10.0, top10_coverage=0.0)
+
+    def test_valid_zipf(self):
+        spec = DatasetSpec("x", "zipf", 10.0, top10_coverage=0.5)
+        assert spec.top10_coverage == 0.5
+
+
+class TestMixes:
+    def test_table_vii_mixes_sum_to_250(self):
+        for name, mix in TABLE_MIXES.items():
+            assert sum(mix.values()) == 250, name
+
+    def test_mix1_is_hot_heavy_mix3_cold_heavy(self):
+        assert TABLE_MIXES["Mix1"]["high_hot"] == 100
+        assert TABLE_MIXES["Mix3"]["random"] == 100
+        assert TABLE_MIXES["Mix2"]["med_hot"] == 63

@@ -1,0 +1,78 @@
+"""EmbeddingTrace container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.trace import EmbeddingTrace
+
+
+def make(indices, offsets, rows=100):
+    return EmbeddingTrace(
+        name="t",
+        indices=np.asarray(indices, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        table_rows=rows,
+    )
+
+
+class TestValidation:
+    def test_valid_trace(self):
+        trace = make([1, 2, 3, 4], [0, 2, 4])
+        assert trace.batch_size == 2
+        assert trace.n_accesses == 4
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            make([1, 2], [1, 2])
+
+    def test_offsets_must_end_at_len(self):
+        with pytest.raises(ValueError):
+            make([1, 2, 3], [0, 2])
+
+    def test_indices_in_range(self):
+        with pytest.raises(ValueError):
+            make([1, 200], [0, 2], rows=100)
+        with pytest.raises(ValueError):
+            make([-1, 2], [0, 2])
+
+    def test_needs_one_sample(self):
+        with pytest.raises(ValueError):
+            make([], [0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EmbeddingTrace(
+                "t", np.zeros((2, 2), dtype=np.int64),
+                np.array([0, 4]), 10,
+            )
+
+
+class TestAccessors:
+    def test_sample_rows(self):
+        trace = make([5, 6, 7, 8, 9], [0, 2, 5])
+        assert trace.sample_rows(0).tolist() == [5, 6]
+        assert trace.sample_rows(1).tolist() == [7, 8, 9]
+
+    def test_pooling_factors(self):
+        trace = make([5, 6, 7], [0, 1, 3])
+        assert trace.pooling_factors().tolist() == [1, 2]
+
+    def test_unique_access_pct(self):
+        trace = make([1, 1, 1, 2], [0, 4])
+        assert trace.unique_access_pct == pytest.approx(50.0)
+
+    def test_empty_bag_allowed(self):
+        trace = make([1, 2], [0, 0, 2])
+        assert trace.sample_rows(0).size == 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make([1, 2, 3, 4], [0, 2, 4])
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = EmbeddingTrace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.table_rows == trace.table_rows
+        assert np.array_equal(loaded.indices, trace.indices)
+        assert np.array_equal(loaded.offsets, trace.offsets)

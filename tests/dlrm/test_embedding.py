@@ -1,0 +1,106 @@
+"""Functional embedding bag vs the loop reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dlrm.embedding import embedding_bag, embedding_bag_reference
+
+
+def table(rows=20, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dim)).astype(np.float32)
+
+
+class TestSumMode:
+    def test_matches_reference(self):
+        t = table()
+        indices = np.array([0, 1, 2, 3, 4, 5])
+        offsets = np.array([0, 2, 6])
+        out = embedding_bag(t, indices, offsets)
+        ref = embedding_bag_reference(t, indices, offsets)
+        np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+    def test_single_row_bag(self):
+        t = table()
+        out = embedding_bag(t, np.array([7]), np.array([0, 1]))
+        np.testing.assert_allclose(out[0], t[7])
+
+    def test_repeated_rows_accumulate(self):
+        t = table()
+        out = embedding_bag(t, np.array([3, 3, 3]), np.array([0, 3]))
+        np.testing.assert_allclose(out[0], 3 * t[3], rtol=1e-6)
+
+    def test_empty_bag_is_zero(self):
+        t = table()
+        out = embedding_bag(t, np.array([1]), np.array([0, 0, 1]))
+        assert np.all(out[0] == 0)
+        np.testing.assert_allclose(out[1], t[1])
+
+    def test_no_indices_at_all(self):
+        t = table()
+        out = embedding_bag(
+            t, np.array([], dtype=np.int64), np.array([0, 0, 0])
+        )
+        assert out.shape == (2, 4)
+        assert np.all(out == 0)
+
+
+class TestMeanMode:
+    def test_mean_divides_by_count(self):
+        t = table()
+        out = embedding_bag(t, np.array([0, 1]), np.array([0, 2]),
+                            mode="mean")
+        np.testing.assert_allclose(out[0], (t[0] + t[1]) / 2, rtol=1e-6)
+
+    def test_mean_empty_bag_stays_zero(self):
+        t = table()
+        out = embedding_bag(t, np.array([1]), np.array([0, 0, 1]),
+                            mode="mean")
+        assert np.all(out[0] == 0)
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            embedding_bag(table(), np.array([0]), np.array([0, 1]),
+                          mode="max")
+
+    def test_bad_offsets(self):
+        with pytest.raises(ValueError):
+            embedding_bag(table(), np.array([0]), np.array([1, 1]))
+        with pytest.raises(ValueError):
+            embedding_bag(table(), np.array([0, 1]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            embedding_bag(table(), np.array([0, 1]), np.array([0, 2, 1, 2]))
+
+    def test_table_must_be_2d(self):
+        with pytest.raises(ValueError):
+            embedding_bag(np.zeros(5), np.array([0]), np.array([0, 1]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    rows=st.integers(2, 30),
+    dim=st.integers(1, 8),
+    batch=st.integers(1, 6),
+)
+def test_vectorized_equals_reference_property(data, rows, dim, batch):
+    rng = np.random.default_rng(0)
+    t = rng.normal(size=(rows, dim)).astype(np.float32)
+    pooling = data.draw(
+        st.lists(st.integers(0, 5), min_size=batch, max_size=batch)
+    )
+    offsets = np.concatenate([[0], np.cumsum(pooling)]).astype(np.int64)
+    indices = data.draw(
+        st.lists(
+            st.integers(0, rows - 1),
+            min_size=int(offsets[-1]), max_size=int(offsets[-1]),
+        )
+    )
+    indices = np.asarray(indices, dtype=np.int64)
+    for mode in ("sum", "mean"):
+        out = embedding_bag(t, indices, offsets, mode=mode)
+        ref = embedding_bag_reference(t, indices, offsets, mode=mode)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)

@@ -1,0 +1,48 @@
+"""Feature interaction stage."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.interaction import dot_interaction, interaction_output_dim
+
+
+class TestOutputDim:
+    def test_formula(self):
+        # n = tables + 1 vectors -> dim + C(n, 2)
+        assert interaction_output_dim(2, 4) == 4 + 3
+        assert interaction_output_dim(250, 128) == 128 + 251 * 250 // 2
+
+
+class TestDotInteraction:
+    def test_shape(self):
+        bottom = np.ones((3, 4), dtype=np.float32)
+        embs = [np.ones((3, 4), dtype=np.float32) for _ in range(2)]
+        out = dot_interaction(bottom, embs)
+        assert out.shape == (3, interaction_output_dim(2, 4))
+
+    def test_passthrough_of_bottom_features(self):
+        rng = np.random.default_rng(0)
+        bottom = rng.normal(size=(2, 4)).astype(np.float32)
+        embs = [rng.normal(size=(2, 4)).astype(np.float32)]
+        out = dot_interaction(bottom, embs)
+        np.testing.assert_array_equal(out[:, :4], bottom)
+
+    def test_dot_values_match_manual(self):
+        bottom = np.array([[1.0, 0.0]], dtype=np.float32)
+        emb1 = np.array([[0.0, 2.0]], dtype=np.float32)
+        emb2 = np.array([[3.0, 1.0]], dtype=np.float32)
+        out = dot_interaction(bottom, [emb1, emb2])
+        # pairs in (i, j) upper-triangle order:
+        # (bottom, emb1)=0, (bottom, emb2)=3, (emb1, emb2)=2
+        np.testing.assert_allclose(out[0, 2:], [0.0, 3.0, 2.0])
+
+    def test_shape_mismatch_rejected(self):
+        bottom = np.ones((2, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            dot_interaction(bottom, [np.ones((2, 5), dtype=np.float32)])
+        with pytest.raises(ValueError):
+            dot_interaction(bottom, [np.ones((3, 4), dtype=np.float32)])
+
+    def test_needs_embeddings(self):
+        with pytest.raises(ValueError):
+            dot_interaction(np.ones((2, 4)), [])

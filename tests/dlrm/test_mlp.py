@@ -1,0 +1,75 @@
+"""Functional MLP."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.mlp import MLP, relu, sigmoid
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_midpoint(self):
+        x = np.array([-100.0, 0.0, 100.0])
+        out = sigmoid(x)
+        assert 0.0 <= out.min() and out.max() <= 1.0
+        assert out[1] == pytest.approx(0.5)
+
+    def test_sigmoid_no_overflow(self):
+        assert np.isfinite(sigmoid(np.array([-1e9, 1e9]))).all()
+
+
+class TestMlp:
+    def test_output_shape(self):
+        mlp = MLP((8, 16, 4))
+        out = mlp(np.zeros((5, 8), dtype=np.float32))
+        assert out.shape == (5, 4)
+
+    def test_hidden_relu_makes_outputs_vary(self):
+        mlp = MLP((8, 16, 4), seed=1)
+        rng = np.random.default_rng(0)
+        out = mlp(rng.normal(size=(5, 8)).astype(np.float32))
+        assert np.std(out) > 0
+
+    def test_final_sigmoid_bounds(self):
+        mlp = MLP((8, 4, 1), final_activation="sigmoid")
+        rng = np.random.default_rng(0)
+        out = mlp(10 * rng.normal(size=(20, 8)).astype(np.float32))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_final_relu(self):
+        mlp = MLP((8, 4, 2), final_activation="relu")
+        rng = np.random.default_rng(0)
+        out = mlp(rng.normal(size=(20, 8)).astype(np.float32))
+        assert out.min() >= 0.0
+
+    def test_seed_determinism(self):
+        a = MLP((8, 4), seed=3)
+        b = MLP((8, 4), seed=3)
+        c = MLP((8, 4), seed=4)
+        np.testing.assert_array_equal(a.weights[0], b.weights[0])
+        assert not np.array_equal(a.weights[0], c.weights[0])
+
+    def test_parameter_count(self):
+        mlp = MLP((8, 4, 2))
+        assert mlp.parameter_count() == (8 * 4 + 4) + (4 * 2 + 2)
+
+    def test_n_layers(self):
+        assert MLP((1024, 512, 128, 128)).n_layers == 3
+
+
+class TestValidation:
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP((8,))
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP((8, 4), final_activation="tanh")
+
+    def test_input_dim_checked(self):
+        mlp = MLP((8, 4))
+        with pytest.raises(ValueError):
+            mlp(np.zeros((2, 9), dtype=np.float32))

@@ -1,0 +1,86 @@
+"""Functional DLRM end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.config.model import DLRMConfig, EmbeddingTableConfig
+from repro.dlrm.embedding import embedding_bag
+from repro.dlrm.inference import make_batch, serve_topk
+from repro.dlrm.model import DLRM
+from repro.datasets.spec import HOTNESS_PRESETS
+
+
+@pytest.fixture(scope="module")
+def model(small_model):
+    return DLRM(small_model, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(small_model):
+    return make_batch(small_model, HOTNESS_PRESETS["high_hot"], seed=1)
+
+
+class TestForward:
+    def test_ctr_shape_and_range(self, model, batch):
+        ctr = model(batch)
+        assert ctr.shape == (batch.batch_size,)
+        assert ctr.min() >= 0.0 and ctr.max() <= 1.0
+
+    def test_deterministic(self, model, batch):
+        np.testing.assert_array_equal(model(batch), model(batch))
+
+    def test_embedding_outputs_match_operator(self, model, batch):
+        outs = model.embedding_outputs(batch)
+        t0 = batch.tables[0]
+        expected = embedding_bag(model.tables[0], t0.indices, t0.offsets)
+        np.testing.assert_allclose(outs[0], expected, rtol=1e-6)
+
+    def test_wrong_table_count_rejected(self, model, batch):
+        from repro.dlrm.model import Batch
+
+        bad = Batch(dense=batch.dense, tables=batch.tables[:-1])
+        with pytest.raises(ValueError):
+            model(bad)
+
+
+class TestTopK:
+    def test_topk_is_sorted_by_ctr(self, model, batch):
+        ctr = model(batch)
+        top = model.predict_topk(batch, 5)
+        assert len(top) == 5
+        scores = ctr[top]
+        assert list(scores) == sorted(scores, reverse=True)
+        assert scores[0] == ctr.max()
+
+    def test_topk_caps_at_batch(self, model, batch):
+        top = model.predict_topk(batch, 10_000)
+        assert len(top) == batch.batch_size
+
+    def test_serve_topk(self, model, batch):
+        top, scores = serve_topk(model, batch, 3)
+        assert len(top) == len(scores) == 3
+
+
+class TestGuards:
+    def test_paper_scale_model_rejected(self):
+        with pytest.raises(ValueError):
+            DLRM(DLRMConfig())  # 16B embedding params: must not build
+
+    def test_small_model_parameters(self, model, small_model):
+        assert len(model.tables) == small_model.num_tables
+        assert model.tables[0].shape == (512, 32)
+
+
+class TestMakeBatch:
+    def test_batch_structure(self, batch, small_model):
+        assert batch.dense.shape == (
+            small_model.batch_size, small_model.dense_features
+        )
+        assert len(batch.tables) == small_model.num_tables
+        for trace in batch.tables:
+            assert trace.batch_size == small_model.batch_size
+
+    def test_tables_have_independent_traces(self, batch):
+        assert not np.array_equal(
+            batch.tables[0].indices, batch.tables[1].indices
+        )

@@ -1,0 +1,85 @@
+"""Roofline timing of the non-embedding stages."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.config.model import PAPER_MODEL
+from repro.dlrm.timing import (
+    KERNEL_LAUNCH_US,
+    gemm_roofline_us,
+    input_transfer_us,
+    interaction_us,
+    mlp_us,
+    non_embedding_time,
+)
+
+
+class TestGemmRoofline:
+    def test_compute_bound_regime(self):
+        # huge batch, tiny weights: flops dominate
+        big = gemm_roofline_us(A100_SXM4_80GB, 10**6, 1024, 1024)
+        flops_s = 2 * 10**6 * 1024 * 1024 / (19.5e12)
+        assert big == pytest.approx(flops_s * 1e6, rel=0.2)
+
+    def test_memory_bound_regime(self):
+        # batch of 1: weight traffic dominates
+        t = gemm_roofline_us(A100_SXM4_80GB, 1, 4096, 4096)
+        bytes_s = 4 * 4096 * 4096 / (1940e9)
+        assert t == pytest.approx(bytes_s * 1e6, rel=0.2)
+
+    def test_h100_is_faster(self):
+        a = gemm_roofline_us(A100_SXM4_80GB, 2048, 1024, 512)
+        h = gemm_roofline_us(H100_NVL, 2048, 1024, 512)
+        assert h < a
+
+
+class TestStageTimes:
+    def test_mlp_sums_layers(self):
+        dims = (1024, 512, 128)
+        total = mlp_us(A100_SXM4_80GB, 2048, dims)
+        parts = (
+            gemm_roofline_us(A100_SXM4_80GB, 2048, 1024, 512)
+            + gemm_roofline_us(A100_SXM4_80GB, 2048, 512, 128)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_interaction_positive_and_scales_with_batch(self):
+        small = interaction_us(A100_SXM4_80GB, PAPER_MODEL, 256)
+        large = interaction_us(A100_SXM4_80GB, PAPER_MODEL, 2048)
+        assert 0 < small < large
+
+    def test_input_transfer_dominated_by_indices(self):
+        total = input_transfer_us(A100_SXM4_80GB, PAPER_MODEL, 2048)
+        idx_only = (
+            8 * 2048 * 150 * 250 / (25e9) * 1e6
+        )
+        assert total == pytest.approx(idx_only, rel=0.05)
+
+
+class TestNonEmbeddingTotal:
+    def test_components_positive(self):
+        timing = non_embedding_time(A100_SXM4_80GB, PAPER_MODEL)
+        assert timing.input_transfer_us > 0
+        assert timing.bottom_mlp_us > 0
+        assert timing.interaction_us > 0
+        assert timing.top_mlp_us > 0
+        assert timing.launch_us == KERNEL_LAUNCH_US * 7
+
+    def test_total_is_sum(self):
+        timing = non_embedding_time(A100_SXM4_80GB, PAPER_MODEL)
+        assert timing.total_us == pytest.approx(
+            timing.input_transfer_us + timing.bottom_mlp_us
+            + timing.interaction_us + timing.top_mlp_us + timing.launch_us
+        )
+
+    def test_paper_model_non_emb_in_tens_of_ms(self):
+        # PCIe transfer of 250 tables' indices dominates: ~25 ms at Gen4
+        timing = non_embedding_time(A100_SXM4_80GB, PAPER_MODEL)
+        assert 15_000 < timing.total_us < 50_000
+
+    def test_batch_override(self):
+        half = non_embedding_time(
+            A100_SXM4_80GB, PAPER_MODEL, batch_size=1024
+        )
+        full = non_embedding_time(A100_SXM4_80GB, PAPER_MODEL)
+        assert half.input_transfer_us < full.input_transfer_us

@@ -1,0 +1,141 @@
+"""SectoredCache: LRU sets, sector statistics, residency pinning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.gpu import CACHE_LINE_BYTES
+from repro.gpusim.cache import SectoredCache
+
+
+def tiny_cache(sets=2, assoc=2, pin_bytes=0):
+    return SectoredCache(
+        "t", sets * assoc * CACHE_LINE_BYTES, assoc,
+        pin_capacity_bytes=pin_bytes,
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.access(10, 4) is False
+        assert cache.access(10, 4) is True
+        assert cache.hit_sectors == 4
+        assert cache.miss_sectors == 4
+
+    def test_sector_weighted_hit_rate(self):
+        cache = tiny_cache()
+        cache.access(1, 4)   # miss, 4 sectors
+        cache.access(1, 1)   # hit, 1 sector
+        assert cache.hit_rate == pytest.approx(1 / 5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SectoredCache("t", 64, 4)
+
+    def test_contains_does_not_mutate(self):
+        cache = tiny_cache()
+        cache.access(2, 1)
+        hits, misses = cache.hit_sectors, cache.miss_sectors
+        assert cache.contains(2)
+        assert not cache.contains(99)
+        assert (cache.hit_sectors, cache.miss_sectors) == (hits, misses)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = tiny_cache()
+        cache.access(3, 4)
+        cache.reset_stats()
+        assert cache.miss_sectors == 0
+        assert cache.access(3, 4) is True
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        cache = tiny_cache(sets=1, assoc=2)
+        cache.access(0, 1)
+        cache.access(1, 1)
+        cache.access(0, 1)  # 0 becomes MRU
+        cache.access(2, 1)  # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_set_isolation(self):
+        cache = tiny_cache(sets=2, assoc=1)
+        cache.access(0, 1)  # set 0
+        cache.access(1, 1)  # set 1
+        assert cache.contains(0) and cache.contains(1)
+        cache.access(2, 1)  # set 0, evicts 0
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_allocate_inserts_without_stats(self):
+        cache = tiny_cache()
+        cache.allocate(5)
+        assert cache.contains(5)
+        assert cache.miss_sectors == 0
+        assert cache.access(5, 2) is True
+
+
+class TestPinning:
+    def test_pin_always_hits(self):
+        cache = tiny_cache(sets=1, assoc=1, pin_bytes=4 * CACHE_LINE_BYTES)
+        assert cache.pin(7)
+        for line in range(8, 28):  # thrash everything except the pin
+            cache.access(line, 1)
+        assert cache.access(7, 4) is True
+        assert cache.pin_hit_sectors == 4
+
+    def test_pin_capacity_enforced(self):
+        cache = tiny_cache(pin_bytes=2 * CACHE_LINE_BYTES)
+        assert cache.pin(1) and cache.pin(2)
+        assert cache.pin(3) is False
+        assert cache.pin(1) is True  # re-pin is idempotent
+
+    def test_pin_removes_from_normal_ways(self):
+        cache = tiny_cache(sets=1, assoc=2, pin_bytes=CACHE_LINE_BYTES)
+        cache.access(4, 1)
+        cache.pin(4)
+        assert 4 not in cache.sets[0]
+        assert cache.contains(4)
+
+    def test_unpin_all(self):
+        cache = tiny_cache(pin_bytes=4 * CACHE_LINE_BYTES)
+        cache.pin(1)
+        cache.unpin_all()
+        assert not cache.pinned
+
+    def test_pin_default_capacity_zero(self):
+        assert tiny_cache().pin(1) is False
+
+
+_lines_strategy = st.lists(st.integers(0, 63), min_size=1, max_size=300)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(_lines_strategy)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = tiny_cache(sets=4, assoc=2)
+        for line in lines:
+            cache.access(line, 1)
+        for ways in cache.sets:
+            assert len(ways) <= cache.assoc
+            # every resident line maps to its own set
+            for line in ways:
+                assert cache.sets[line % cache.num_sets] is ways
+
+    @settings(max_examples=50, deadline=None)
+    @given(_lines_strategy)
+    def test_hit_immediately_after_access(self, lines):
+        cache = tiny_cache(sets=4, assoc=2)
+        for line in lines:
+            cache.access(line, 1)
+            assert cache.contains(line)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_lines_strategy)
+    def test_stats_conservation(self, lines):
+        cache = tiny_cache(sets=4, assoc=2)
+        for line in lines:
+            cache.access(line, 2)
+        assert cache.hit_sectors + cache.miss_sectors == 2 * len(lines)

@@ -1,0 +1,79 @@
+"""HBM channel: latency, queueing, bandwidth accounting."""
+
+import pytest
+
+from repro.gpusim.hbm import HbmChannel
+
+
+class TestLatency:
+    def test_unloaded_read_pays_latency(self):
+        hbm = HbmChannel(latency=466, bytes_per_cycle=1000.0)
+        assert hbm.read(4, now=10.0) == pytest.approx(476.0)
+
+    def test_reads_counted(self):
+        hbm = HbmChannel(466, 1000.0)
+        hbm.read(4, 0.0)
+        hbm.read(1, 0.0)
+        assert hbm.reads == 2
+        assert hbm.read_bytes == 5 * 32
+
+
+class TestQueueing:
+    def test_backlog_delays_later_requests(self):
+        # 1 byte/cycle: a 128-B read occupies the channel for 128 cycles
+        hbm = HbmChannel(latency=100, bytes_per_cycle=1.0)
+        first = hbm.read(4, now=0.0)
+        second = hbm.read(4, now=0.0)
+        assert first == pytest.approx(100.0)
+        assert second == pytest.approx(228.0)  # 128 queue + 100 latency
+        assert hbm.queued_cycles == pytest.approx(128.0)
+
+    def test_idle_gap_clears_backlog(self):
+        hbm = HbmChannel(100, 1.0)
+        hbm.read(4, 0.0)
+        late = hbm.read(4, now=1000.0)
+        assert late == pytest.approx(1100.0)
+
+    def test_fast_channel_negligible_queue(self):
+        hbm = HbmChannel(100, 1e6)
+        for _ in range(100):
+            done = hbm.read(4, 0.0)
+        assert done < 101.0
+
+
+class TestAccounting:
+    def test_bandwidth_utilization(self):
+        hbm = HbmChannel(100, 10.0)
+        hbm.read(4, 0.0)  # 128 bytes
+        # over 64 cycles: 2 B/cycle of 10 -> 20%
+        assert hbm.utilization(64.0) == pytest.approx(0.2)
+        assert hbm.avg_read_bandwidth(64.0) == pytest.approx(2.0)
+
+    def test_zero_elapsed_guard(self):
+        hbm = HbmChannel(100, 10.0)
+        assert hbm.utilization(0.0) == 0.0
+        assert hbm.avg_read_bandwidth(-1.0) == 0.0
+
+    def test_write_counts_without_timing(self):
+        hbm = HbmChannel(100, 10.0)
+        hbm.write(4)
+        assert hbm.write_bytes == 128
+        assert hbm.next_free == 0.0
+
+    def test_occupy_consumes_service_only(self):
+        hbm = HbmChannel(100, 1.0)
+        hbm.occupy(4, now=0.0)
+        assert hbm.next_free == pytest.approx(128.0)
+        assert hbm.read_bytes == 0
+        assert hbm.write_bytes == 128
+
+    def test_reset(self):
+        hbm = HbmChannel(100, 1.0)
+        hbm.read(4, 0.0)
+        hbm.reset_stats()
+        assert hbm.read_bytes == 0
+        assert hbm.next_free == 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            HbmChannel(100, 0.0)

@@ -1,0 +1,168 @@
+"""MemoryHierarchy: level latencies, MSHR merging, streaming, pinning."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.gpusim.hierarchy import MemoryHierarchy
+
+GPU = A100_SXM4_80GB.scaled_slice(2)
+TABLE_ADDR = 1 << 35
+STREAM = (1 << 33, 1 << 35)
+
+
+def make_hierarchy(set_aside=0, streaming=None):
+    return MemoryHierarchy(
+        GPU, l2_set_aside_bytes=set_aside, streaming_range=streaming,
+    )
+
+
+class TestLevels:
+    def test_cold_load_pays_dram_latency(self):
+        h = make_hierarchy()
+        done = h.load(0, TABLE_ADDR, 4, now=0.0)
+        # DRAM latency plus the cold page walk
+        assert done >= GPU.lat_hbm
+        assert h.dram_read_bytes == 128
+
+    def test_warm_load_hits_l1(self):
+        h = make_hierarchy()
+        h.load(0, TABLE_ADDR, 4, 0.0)
+        done = h.load(0, TABLE_ADDR, 4, now=10_000.0)
+        assert done == pytest.approx(10_000.0 + GPU.lat_l1)
+
+    def test_l2_hit_from_other_sm(self):
+        h = make_hierarchy()
+        h.load(0, TABLE_ADDR, 4, 0.0)
+        done = h.load(1, TABLE_ADDR, 4, now=10_000.0)
+        # other SM misses its own L1 but hits L2 (plus its own page walk)
+        assert GPU.lat_l1 < done - 10_000.0
+        assert h.dram_read_bytes == 128  # no second DRAM read
+
+    def test_sector_accounting(self):
+        h = make_hierarchy()
+        h.load(0, TABLE_ADDR, 4, 0.0)
+        h.load(0, TABLE_ADDR, 1, 1000.0)
+        assert h.l1_hit_sectors == 1
+        assert h.l1_miss_sectors == 4
+
+
+class TestMshrMerging:
+    def test_concurrent_misses_merge(self):
+        h = make_hierarchy()
+        first = h.load(0, TABLE_ADDR, 4, now=0.0)
+        second = h.load(0, TABLE_ADDR, 4, now=5.0)
+        # the second request waits for the same fill; no new DRAM read
+        assert second == pytest.approx(first)
+        assert h.hbm.reads == 1
+
+    def test_merge_across_sms(self):
+        h = make_hierarchy()
+        first = h.load(0, TABLE_ADDR, 4, now=0.0)
+        second = h.load(1, TABLE_ADDR, 4, now=5.0)
+        assert second >= first - 1e-9
+        assert h.hbm.reads == 1
+
+    def test_after_fill_no_merge_path(self):
+        h = make_hierarchy()
+        first = h.load(0, TABLE_ADDR, 4, now=0.0)
+        done = h.load(0, TABLE_ADDR, 4, now=first + 100.0)
+        assert done == pytest.approx(first + 100.0 + GPU.lat_l1)
+
+
+class TestStreaming:
+    def test_stream_hits_after_first_touch(self):
+        h = make_hierarchy(streaming=STREAM)
+        addr = STREAM[0] + 64
+        h.load(0, addr, 1, 0.0)
+        done = h.load(0, addr, 1, now=50_000.0)
+        assert done == pytest.approx(50_000.0 + GPU.lat_l1)
+
+    def test_stream_first_touch_goes_below(self):
+        h = make_hierarchy(streaming=STREAM)
+        done = h.load(0, STREAM[0], 1, now=0.0)
+        assert done >= GPU.lat_hbm
+
+    def test_stream_seen_is_per_sm(self):
+        h = make_hierarchy(streaming=STREAM)
+        h.load(0, STREAM[0], 1, 0.0)
+        done = h.load(1, STREAM[0], 1, now=10_000.0)
+        assert done > 10_000.0 + GPU.lat_l1  # SM 1's own first touch
+
+    def test_table_region_not_streaming(self):
+        h = make_hierarchy(streaming=STREAM)
+        h.load(0, TABLE_ADDR, 4, 0.0)
+        assert TABLE_ADDR >> 7 not in h._stream_seen[0]
+
+
+class TestLocalMemory:
+    def test_local_within_budget_is_l1_latency(self):
+        h = make_hierarchy()
+        h.configure_local_memory(1000, budget_bytes=10_000)
+        assert not h.local_overflow
+        done = h.load(0, 1 << 40, 4, now=5.0, local=True)
+        assert done == pytest.approx(5.0 + GPU.lat_l1)
+        assert h.local_read_sectors == 4
+
+    def test_local_overflow_round_trips_l2(self):
+        h = make_hierarchy()
+        h.configure_local_memory(20_000, budget_bytes=10_000)
+        assert h.local_overflow
+        done = h.load(0, 1 << 40, 4, now=5.0, local=True)
+        assert done >= 5.0 + GPU.lat_l2
+
+    def test_local_store_counts(self):
+        h = make_hierarchy()
+        h.store(0, 1 << 40, 4, 0.0, local=True)
+        assert h.local_write_sectors == 4
+
+    def test_global_store_counts_hbm_write(self):
+        h = make_hierarchy()
+        h.store(0, TABLE_ADDR, 4, 0.0)
+        assert h.hbm.write_bytes == 128
+
+
+class TestPinning:
+    def test_pinned_line_always_l2_hit(self):
+        h = make_hierarchy(set_aside=GPU.l2_set_aside_bytes)
+        line = TABLE_ADDR >> 7
+        assert h.l2.pin(line)
+        done = h.load(0, TABLE_ADDR, 4, now=0.0)
+        # L1 miss but guaranteed L2 hit (+ page walk on first touch)
+        assert done < GPU.lat_hbm + GPU.tlb_miss_penalty
+        assert h.dram_read_bytes == 0
+
+    def test_set_aside_validation(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(GPU, l2_set_aside_bytes=GPU.l2_bytes)
+
+    def test_prefetch_pin_l2_fetches_and_pins(self):
+        h = make_hierarchy(set_aside=GPU.l2_set_aside_bytes)
+        h.prefetch_pin_l2(TABLE_ADDR, 4, 0.0)
+        assert h.l2.contains(TABLE_ADDR >> 7)
+        assert h.dram_read_bytes == 128
+        # a later demand load is an L2 hit with no further DRAM traffic
+        h.load(0, TABLE_ADDR, 4, 10_000.0)
+        assert h.dram_read_bytes == 128
+
+    def test_prefetch_pin_beyond_capacity_degrades_gracefully(self):
+        h = make_hierarchy(set_aside=0)
+        h.prefetch_pin_l2(TABLE_ADDR, 4, 0.0)  # set-aside of zero
+        assert not h.l2.pinned
+
+
+class TestStats:
+    def test_reset_stats(self):
+        h = make_hierarchy(streaming=STREAM)
+        h.load(0, TABLE_ADDR, 4, 0.0)
+        h.load(0, STREAM[0], 1, 0.0)
+        h.reset_stats()
+        assert h.l1_hit_sectors == 0
+        assert h.dram_read_bytes == 0
+        assert h.tlb_miss_rate == 0.0
+        assert all(not s for s in h._stream_seen)
+
+    def test_tlb_miss_rate_bounds(self):
+        h = make_hierarchy()
+        for i in range(10):
+            h.load(0, TABLE_ADDR + i * 4096, 4, float(i))
+        assert 0.0 < h.tlb_miss_rate <= 1.0

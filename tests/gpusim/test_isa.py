@@ -1,0 +1,47 @@
+"""Micro-op encoding helpers."""
+
+from repro.gpusim import isa
+
+
+class TestEncoding:
+    def test_all_ops_are_5_tuples(self):
+        ops = [
+            isa.alu(3),
+            isa.alu(3, dep=1),
+            isa.ld_global(0x100, 4, 0),
+            isa.ld_local(0x100, 4, 0, dep=2),
+            isa.ld_shared(1),
+            isa.st_global(0x100, 4),
+            isa.st_shared(),
+            isa.st_local(0x100, 4),
+            isa.prefetch_l1(0x100, 4),
+            isa.prefetch_l2(0x100, 4),
+        ]
+        for op in ops:
+            assert len(op) == 5
+            assert op[0] in isa.OP_NAMES
+
+    def test_kind_constants_distinct(self):
+        kinds = [
+            isa.OP_ALU, isa.OP_LD_GLOBAL, isa.OP_LD_LOCAL,
+            isa.OP_LD_SHARED, isa.OP_ST_GLOBAL, isa.OP_ST_SHARED,
+            isa.OP_ST_LOCAL, isa.OP_PREFETCH_L1, isa.OP_PREFETCH_L2,
+        ]
+        assert len(set(kinds)) == len(kinds)
+
+    def test_scoreboard_kinds(self):
+        assert isa.OP_LD_GLOBAL in isa.SCOREBOARD_KINDS
+        assert isa.OP_LD_SHARED in isa.SCOREBOARD_KINDS
+        assert isa.OP_ST_GLOBAL not in isa.SCOREBOARD_KINDS
+
+    def test_load_kinds_reach_memory(self):
+        assert isa.LOAD_KINDS == {isa.OP_LD_GLOBAL, isa.OP_LD_LOCAL}
+
+    def test_dep_encoding(self):
+        op = isa.alu(5, dep=7)
+        assert op[1] == 5 and op[4] == 7
+        assert isa.alu(5)[4] is None
+
+    def test_tags_preserved(self):
+        assert isa.ld_global(0x40, 2, 9)[3] == 9
+        assert isa.ld_shared(4, dep=2) == (isa.OP_LD_SHARED, 0, 0, 4, 2)

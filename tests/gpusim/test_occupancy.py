@@ -1,0 +1,95 @@
+"""Occupancy rules: the paper's register-pressure arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.gpusim.occupancy import (
+    KernelResources,
+    max_regs_for_warps,
+    occupancy_pct,
+    regs_per_warp_allocated,
+    resident_warps,
+)
+
+
+class TestPaperAnchors:
+    def test_stock_kernel_74_regs_gives_24_warps(self):
+        # Section III-C: 74 registers -> 37.5% occupancy = 24 warps
+        assert resident_warps(A100_SXM4_80GB, KernelResources(74)) == 24
+        assert occupancy_pct(A100_SXM4_80GB, KernelResources(74)) == 37.5
+
+    @pytest.mark.parametrize("regs,warps", [
+        (74, 24), (64, 32), (48, 40), (42, 40), (32, 64), (255, 8),
+    ])
+    def test_register_to_warp_mapping(self, regs, warps):
+        assert resident_warps(
+            A100_SXM4_80GB, KernelResources(regs)
+        ) == warps
+
+    @pytest.mark.parametrize("target,expected_cap", [
+        (24, 80), (32, 64), (40, 48), (64, 32),
+    ])
+    def test_max_regs_for_warps(self, target, expected_cap):
+        assert max_regs_for_warps(A100_SXM4_80GB, target) == expected_cap
+
+    def test_h100_32_warp_cap_is_64_regs(self):
+        assert max_regs_for_warps(H100_NVL, 32) == 64
+
+
+class TestAllocationUnit:
+    def test_rounding_to_256_register_unit(self):
+        # 50 regs x 32 threads = 1600 -> rounds up to 1792
+        assert regs_per_warp_allocated(A100_SXM4_80GB, 50) == 1792
+        assert regs_per_warp_allocated(A100_SXM4_80GB, 48) == 1536
+
+    def test_rounding_changes_occupancy(self):
+        # without rounding 50 regs would give 40 warps; with it, 32
+        assert resident_warps(A100_SXM4_80GB, KernelResources(50)) == 32
+
+
+class TestSharedMemoryLimit:
+    def test_smem_caps_blocks(self):
+        res = KernelResources(32, smem_per_block=40 * 1024)
+        # 164 KB / 40 KB -> 4 blocks -> 32 warps (regs would allow 64)
+        assert resident_warps(A100_SXM4_80GB, res) == 32
+
+    def test_smem_zero_is_unlimited(self):
+        res = KernelResources(32, smem_per_block=0)
+        assert resident_warps(A100_SXM4_80GB, res) == 64
+
+
+class TestValidation:
+    def test_bad_resources(self):
+        with pytest.raises(ValueError):
+            KernelResources(0)
+        with pytest.raises(ValueError):
+            KernelResources(32, warps_per_block=0)
+        with pytest.raises(ValueError):
+            KernelResources(32, smem_per_block=-1)
+
+    def test_bad_warp_target(self):
+        with pytest.raises(ValueError):
+            max_regs_for_warps(A100_SXM4_80GB, 0)
+        with pytest.raises(ValueError):
+            max_regs_for_warps(A100_SXM4_80GB, 128)
+
+
+@given(st.integers(16, 255))
+def test_more_registers_never_increase_occupancy(regs):
+    a = resident_warps(A100_SXM4_80GB, KernelResources(regs))
+    b = resident_warps(A100_SXM4_80GB, KernelResources(min(255, regs + 8)))
+    assert b <= a
+    assert a % 8 == 0  # whole blocks
+    assert 0 <= a <= 64
+
+
+@given(st.integers(8, 64))
+def test_max_regs_round_trip(target):
+    target = (target // 8) * 8 or 8
+    cap = max_regs_for_warps(A100_SXM4_80GB, target)
+    assert resident_warps(A100_SXM4_80GB, KernelResources(cap)) >= target
+    if cap < 255:
+        assert resident_warps(
+            A100_SXM4_80GB, KernelResources(cap + 1)
+        ) < target or cap == 255

@@ -1,0 +1,125 @@
+"""KernelProfile: NCU-style metric derivation and slice scaling."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.gpusim.engine import RawKernelStats
+from repro.gpusim.hierarchy import MemoryHierarchy
+from repro.gpusim.profiler import KernelProfile
+
+GPU = A100_SXM4_80GB.scaled_slice(2)
+
+
+def make_stats(**overrides):
+    defaults = dict(
+        name="k",
+        makespan_cycles=14100.0,
+        n_warps=64,
+        warps_per_sm=24,
+        n_smsp=8,
+        issued_insts=56400,
+        alu_insts=50000,
+        ld_global_insts=6000,
+        ld_local_insts=300,
+        ld_shared_insts=100,
+        st_insts=64,
+        prefetch_insts=0,
+        warp_resident_cycles=14100.0 * 48,
+        stall_long_scoreboard=100000.0,
+        stall_short_scoreboard=500.0,
+        stall_not_selected=2000.0,
+    )
+    defaults.update(overrides)
+    return RawKernelStats(**defaults)
+
+
+class TestDerivation:
+    def test_kernel_time_from_clock(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU)
+        )
+        assert profile.kernel_time_us == pytest.approx(10.0)
+
+    def test_issue_utilization(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU)
+        )
+        assert profile.issued_per_scheduler == pytest.approx(0.5)
+        assert profile.sm_throughput_pct == pytest.approx(50.0)
+
+    def test_stall_per_instruction(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU)
+        )
+        assert profile.long_scoreboard_stall == pytest.approx(
+            100000.0 / 56400
+        )
+
+    def test_warp_cycles_per_inst(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU)
+        )
+        assert profile.warp_cycles_per_inst == pytest.approx(
+            14100.0 * 48 / 56400
+        )
+
+    def test_load_insts_full_chip_scaling(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU),
+            chip_factor=2 / 108,
+        )
+        assert profile.load_insts_m == pytest.approx(
+            6300 / (2 / 108) / 1e6
+        )
+
+    def test_bandwidth_uses_full_chip_peak(self):
+        hierarchy = MemoryHierarchy(GPU)
+        hierarchy.hbm.read(4, 0.0)
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), hierarchy,
+            chip_factor=2 / 108,
+            full_hbm_gbps=A100_SXM4_80GB.hbm_bandwidth_gbps,
+        )
+        util = hierarchy.hbm.utilization(14100.0)
+        assert profile.avg_hbm_bw_gbps == pytest.approx(util * 1940.0)
+        assert profile.hbm_bw_util_pct == pytest.approx(100 * util)
+
+    def test_chip_factor_validation(self):
+        with pytest.raises(ValueError):
+            KernelProfile.from_run(
+                GPU, make_stats(), MemoryHierarchy(GPU), chip_factor=0.0
+            )
+        with pytest.raises(ValueError):
+            KernelProfile.from_run(
+                GPU, make_stats(), MemoryHierarchy(GPU), chip_factor=1.5
+            )
+
+    def test_zero_makespan_guards(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(makespan_cycles=0.0, issued_insts=0),
+            MemoryHierarchy(GPU),
+        )
+        assert profile.issued_per_scheduler == 0.0
+        assert profile.warp_cycles_per_inst == 0.0
+
+
+class TestPresentation:
+    def test_to_row_is_complete(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU)
+        )
+        row = profile.to_row()
+        assert row["name"] == "k"
+        assert set(row) >= {
+            "kernel_time_us", "l1_hit_pct", "l2_hit_pct",
+            "long_scoreboard_stall", "dram_read_mb",
+        }
+
+    def test_ncu_rows_reference_real_fields(self):
+        profile = KernelProfile.from_run(
+            GPU, make_stats(), MemoryHierarchy(GPU)
+        )
+        for field_name, label, fmt in KernelProfile.NCU_ROWS:
+            value = getattr(profile, field_name)
+            assert fmt.format(value)
+            assert label

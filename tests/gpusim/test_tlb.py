@@ -1,0 +1,59 @@
+"""Per-SM uTLB: LRU, page walks, walk merging."""
+
+import pytest
+
+from repro.gpusim.hierarchy import Tlb
+
+PAGE = 4096
+
+
+def make_tlb(capacity=2, penalty=400):
+    return Tlb(capacity, PAGE, penalty)
+
+
+class TestBasics:
+    def test_first_touch_pays_walk(self):
+        tlb = make_tlb()
+        assert tlb.lookup(0, now=0.0) == 400.0
+        assert tlb.misses == 1
+
+    def test_hit_after_walk_completes(self):
+        tlb = make_tlb()
+        tlb.lookup(0, 0.0)
+        assert tlb.lookup(0, now=500.0) == 0.0
+        assert tlb.hits == 1
+
+    def test_same_page_different_addresses(self):
+        tlb = make_tlb()
+        tlb.lookup(0, 0.0)
+        assert tlb.lookup(PAGE - 1, now=1000.0) == 0.0
+
+    def test_lru_eviction(self):
+        tlb = make_tlb(capacity=2)
+        tlb.lookup(0 * PAGE, 0.0)
+        tlb.lookup(1 * PAGE, 0.0)
+        tlb.lookup(0 * PAGE, 1000.0)     # refresh page 0
+        tlb.lookup(2 * PAGE, 1000.0)     # evicts page 1
+        assert tlb.lookup(0 * PAGE, 2000.0) == 0.0
+        assert tlb.lookup(1 * PAGE, 3000.0) == 400.0  # was evicted
+
+
+class TestWalkMerging:
+    def test_probe_during_walk_joins_it(self):
+        tlb = make_tlb()
+        tlb.lookup(0, now=0.0)           # walk completes at 400
+        wait = tlb.lookup(0, now=100.0)  # joins in-flight walk
+        assert wait == pytest.approx(300.0)
+        assert tlb.hits == 1  # counted as a (delayed) hit, not a new walk
+
+    def test_walk_state_cleared_after_completion(self):
+        tlb = make_tlb()
+        tlb.lookup(0, 0.0)
+        tlb.lookup(0, 500.0)
+        assert 0 not in tlb.walks
+
+    def test_evicted_page_drops_walk(self):
+        tlb = make_tlb(capacity=1)
+        tlb.lookup(0 * PAGE, 0.0)
+        tlb.lookup(1 * PAGE, 0.0)  # evicts page 0 and its walk record
+        assert tlb.walks.keys() == {1}

@@ -1,0 +1,44 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig12"])
+        assert args.experiment == "fig12"
+        assert args.sms == 6
+        assert args.seed == 0
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "tab3", "--sms", "2", "--seed", "7"]
+        )
+        assert args.sms == 2 and args.seed == 7
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "tab4" in out
+
+    def test_run_tab3(self, capsys):
+        assert main(["run", "tab3", "--sms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Unique access" in out
+        assert "regenerated in" in out
+
+    def test_run_unknown_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nope", "--sms", "1"])

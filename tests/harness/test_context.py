@@ -1,0 +1,48 @@
+"""Experiment context: memoization and derived pipeline metrics."""
+
+import pytest
+
+from repro.core.schemes import BASE, OPTMT
+from repro.dlrm.timing import KERNEL_LAUNCH_US
+from repro.harness.context import ExperimentContext, HarnessConfig
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(HarnessConfig(num_sms=1))
+
+
+class TestMemoization:
+    def test_kernel_cached(self, ctx):
+        a = ctx.kernel("high_hot", BASE)
+        b = ctx.kernel("high_hot", BASE)
+        assert a is b
+
+    def test_distinct_configs_not_conflated(self, ctx):
+        a = ctx.kernel("high_hot", BASE)
+        b = ctx.kernel("high_hot", OPTMT)
+        c = ctx.kernel("high_hot", BASE, pooling_factor=30)
+        assert a is not b and a is not c
+
+    def test_workload_cached(self, ctx):
+        assert ctx.workload() is ctx.workload()
+
+
+class TestDerivedMetrics:
+    def test_stage_is_weighted_sum(self, ctx):
+        t = ctx.kernel("high_hot", BASE).kernel_time_us
+        total = ctx.embedding_stage_us({"high_hot": 9}, BASE)
+        assert total == pytest.approx(9 * (t + KERNEL_LAUNCH_US))
+
+    def test_batch_latency_adds_non_embedding(self, ctx):
+        mix = ctx.homogeneous_mix("high_hot")
+        emb_ms = ctx.embedding_stage_us(mix, BASE) / 1e3
+        assert ctx.batch_latency_ms(mix, BASE) > emb_ms
+
+    def test_share_between_0_and_100(self, ctx):
+        mix = ctx.homogeneous_mix("high_hot")
+        share = ctx.embedding_share_pct(mix, BASE)
+        assert 0.0 < share < 100.0
+
+    def test_homogeneous_mix_covers_model(self, ctx):
+        assert ctx.homogeneous_mix("random") == {"random": 250}

@@ -1,0 +1,73 @@
+"""Exercise additional experiment builders end to end (1-SM slice)."""
+
+import pytest
+
+from repro.harness.context import ExperimentContext, HarnessConfig
+from repro.harness.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(HarnessConfig(num_sms=1))
+
+
+class TestNcuTables:
+    def test_tab4_structure(self, ctx):
+        table = run_experiment("tab4", ctx)
+        metrics = {r["metric"] for r in table.rows}
+        assert "kernel_time_us" in metrics
+        assert "long_scoreboard_stall" in metrics
+        # every metric has a measured and a paper row
+        for metric in metrics:
+            sources = [
+                r["source"] for r in table.rows if r["metric"] == metric
+            ]
+            assert sorted(sources) == ["measured", "paper"]
+
+    def test_tab4_measured_monotone(self, ctx):
+        table = run_experiment("tab4", ctx)
+        row = next(
+            r for r in table.rows
+            if r["metric"] == "kernel_time_us" and r["source"] == "measured"
+        )
+        order = ("one_item", "high_hot", "med_hot", "low_hot", "random")
+        times = [row[d] for d in order]
+        assert times == sorted(times)
+
+
+class TestPipelineFigures:
+    def test_fig1_rows(self, ctx):
+        table = run_experiment("fig1", ctx)
+        assert len(table.rows) == 10  # 5 datasets x {base, OptMT}
+        for row in table.rows:
+            assert row["total_ms"] == pytest.approx(
+                row["emb_ms"] + row["non_emb_ms"]
+            )
+            assert 0 < row["emb_share_pct"] < 100
+
+    def test_fig14_shares(self, ctx):
+        table = run_experiment("fig14", ctx)
+        schemes = {r["scheme"] for r in table.rows}
+        assert "base" in schemes and "RPF+L2P+OptMT" in schemes
+
+    def test_fig17_uses_table_vii_mixes(self, ctx):
+        table = run_experiment("fig17", ctx)
+        assert [r["mix"] for r in table.rows] == ["Mix1", "Mix2", "Mix3"]
+        for row in table.rows:
+            assert row["paper_combined"] > 1.0
+
+
+class TestSweepFigures:
+    def test_fig6_contains_local_loads_row(self, ctx):
+        table = run_experiment("fig6", ctx)
+        datasets = [r["dataset"] for r in table.rows]
+        assert "local_loads_M" in datasets
+        loads = table.row_for("dataset", "local_loads_M")
+        assert loads["w24"] == 0.0
+        assert loads["w64"] > 0.0
+
+    def test_fig11_has_pooling_columns(self, ctx):
+        table = run_experiment("fig11", ctx)
+        assert {r["dataset"] for r in table.rows} == {"high_hot", "med_hot"}
+        for row in table.rows:
+            assert row["pool10"] > 0.5

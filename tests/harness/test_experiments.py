@@ -1,0 +1,51 @@
+"""Experiment registry + the fast (trace-only) experiments end to end."""
+
+import pytest
+
+from repro.harness.context import ExperimentContext, HarnessConfig
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.runner import list_experiments, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(HarnessConfig(num_sms=1))
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "tab3", "tab4", "tab5", "tab8", "tab9",
+            "fig1", "fig5", "fig6", "fig9", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_descriptions_present(self):
+        for exp_id, desc in list_experiments():
+            assert desc, exp_id
+
+    def test_unknown_experiment_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", ctx)
+
+
+class TestFastExperiments:
+    def test_tab3_runs(self, ctx):
+        table = run_experiment("tab3", ctx)
+        assert len(table.rows) == 5
+        assert table.row_for("dataset", "random")["paper_pct"] == 63.21
+
+    def test_fig5_runs(self, ctx):
+        table = run_experiment("fig5", ctx)
+        assert len(table.rows) == 5
+        one = table.row_for("dataset", "one_item")
+        assert one["top100pct"] == pytest.approx(100.0)
+
+
+class TestKernelExperiment:
+    def test_fig12_smallest_slice(self, ctx):
+        table = run_experiment("fig12", ctx)
+        assert len(table.rows) == 4
+        comb = table.row_for("scheme", "RPF+L2P+OptMT")
+        assert comb["random"] > 1.0

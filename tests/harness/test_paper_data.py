@@ -1,0 +1,68 @@
+"""Transcribed paper data: internal consistency checks."""
+
+from repro.harness import paper_data as paper
+
+
+class TestShapes:
+    def test_five_dataset_tables_have_five_values(self):
+        for table in (paper.TAB4_BASE, paper.TAB5_OPTMT):
+            for metric, values in table.items():
+                assert len(values) == 5, metric
+
+    def test_four_dataset_tables_have_four_values(self):
+        for table in (paper.TAB8_RPF_OPTMT, paper.TAB9_COMBINED):
+            for metric, values in table.items():
+                assert len(values) == 4, metric
+
+    def test_figure_speedups_have_four_values(self):
+        for fig in (paper.FIG12_SPEEDUP, paper.FIG13_SPEEDUP,
+                    paper.FIG15_SPEEDUP, paper.FIG16A_SPEEDUP,
+                    paper.FIG16B_SPEEDUP):
+            for scheme, values in fig.items():
+                assert len(values) == 4, scheme
+
+    def test_fig6_sweep_has_five_warp_points(self):
+        for dataset, values in paper.FIG6_SPEEDUP.items():
+            assert len(values) == 5, dataset
+            assert values[0] == 1.0  # normalized to the 24-warp baseline
+
+
+class TestInternalConsistency:
+    def test_base_kernel_gap_is_3_2x(self):
+        times = paper.TAB4_BASE["kernel_time_us"]
+        assert round(times[-1] / times[0], 1) == 3.2
+
+    def test_optmt_gap_is_2_1x(self):
+        times = paper.TAB5_OPTMT["kernel_time_us"]
+        assert round(times[-1] / times[0], 1) == 2.1
+
+    def test_fig12_combined_matches_headline(self):
+        # embedding gain up to 103% -> 2.03x
+        assert max(paper.FIG12_SPEEDUP["RPF+L2P+OptMT"]) == 2.03
+        assert paper.HEADLINE["embedding_max_gain_pct"] == 103.0
+
+    def test_fig13_combined_matches_headline(self):
+        assert max(paper.FIG13_SPEEDUP["RPF+L2P+OptMT"]) == 1.77
+        assert paper.HEADLINE["e2e_max_gain_pct"] == 77.0
+
+    def test_kernel_times_monotone_in_hotness(self):
+        for table in (paper.TAB4_BASE, paper.TAB5_OPTMT,
+                      paper.TAB8_RPF_OPTMT, paper.TAB9_COMBINED):
+            times = table["kernel_time_us"]
+            assert list(times) == sorted(times)
+
+    def test_combined_never_slower_than_rpf(self):
+        rpf = paper.TAB8_RPF_OPTMT["kernel_time_us"]
+        combined = paper.TAB9_COMBINED["kernel_time_us"]
+        for a, b in zip(combined, rpf):
+            assert a <= b
+
+    def test_unique_access_order(self):
+        values = [paper.TAB3_UNIQUE_ACCESS_PCT[d] for d in paper.DATASETS5]
+        assert values == sorted(values)
+
+    def test_h100_base_faster_than_a100_base(self):
+        a100 = paper.TAB4_BASE["kernel_time_us"][1:]
+        h100 = [paper.H100_BASE_TIME_US[d] for d in paper.DATASETS4]
+        for a, h in zip(a100, h100):
+            assert h < a

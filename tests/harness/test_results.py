@@ -1,0 +1,79 @@
+"""ExperimentTable container."""
+
+import pytest
+
+from repro.harness.results import ExperimentTable
+
+
+def make_table():
+    table = ExperimentTable("t1", "demo", ["name", "value"])
+    table.add_row(name="a", value=1.0)
+    table.add_row(name="b", value=2.5)
+    return table
+
+
+class TestRows:
+    def test_add_and_column(self):
+        table = make_table()
+        assert table.column("value") == [1.0, 2.5]
+
+    def test_unknown_column_rejected_on_add(self):
+        table = make_table()
+        with pytest.raises(KeyError):
+            table.add_row(name="c", wrong=1)
+
+    def test_unknown_column_rejected_on_read(self):
+        with pytest.raises(KeyError):
+            make_table().column("missing")
+
+    def test_row_for(self):
+        assert make_table().row_for("name", "b")["value"] == 2.5
+
+    def test_row_for_missing(self):
+        with pytest.raises(KeyError):
+            make_table().row_for("name", "zzz")
+
+    def test_partial_rows_allowed(self):
+        table = ExperimentTable("t2", "demo", ["a", "b"])
+        table.add_row(a=1)
+        assert table.column("b") == [None]
+
+
+class TestRender:
+    def test_render_contains_data_and_notes(self):
+        table = make_table()
+        table.notes.append("a note")
+        text = table.render()
+        assert "t1: demo" in text
+        assert "2.50" in text
+        assert "note: a note" in text
+
+    def test_render_empty_table(self):
+        table = ExperimentTable("t3", "empty", ["x"])
+        assert "t3" in table.render()
+
+    def test_none_rendered_as_dash(self):
+        table = ExperimentTable("t4", "demo", ["x", "y"])
+        table.add_row(x=1)
+        assert "-" in table.render()
+
+
+class TestExport:
+    def test_csv_round_trip(self):
+        import csv
+        import io
+
+        text = make_table().to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["name"] == "a"
+        assert float(rows[1]["value"]) == 2.5
+
+    def test_json_round_trip(self):
+        import json
+
+        table = make_table()
+        table.notes.append("n1")
+        data = json.loads(table.to_json())
+        assert data["exp_id"] == "t1"
+        assert data["rows"][1]["value"] == 2.5
+        assert data["notes"] == ["n1"]

@@ -1,0 +1,71 @@
+"""Address layout: disjoint regions, row addressing, local windows."""
+
+from repro.config.gpu import CACHE_LINE_BYTES
+from repro.kernels.address_map import (
+    LOCAL_WINDOW_BYTES,
+    STREAMING_RANGE,
+    AddressMap,
+)
+
+
+class TestRegions:
+    def test_streaming_range_covers_inputs_not_table(self):
+        amap = AddressMap(row_bytes=512)
+        lo, hi = STREAMING_RANGE
+        assert lo <= amap.offsets_addr(0) < hi
+        assert lo <= amap.index_addr(10**6) < hi
+        assert lo <= amap.output_addr(2047, 384) < hi
+        assert not lo <= amap.row_addr(499_999, 384) < hi
+
+    def test_local_region_outside_streaming(self):
+        lo, hi = STREAMING_RANGE
+        addr = AddressMap.local_window(12345)
+        assert not lo <= addr < hi
+
+    def test_tables_do_not_overlap(self):
+        a = AddressMap(row_bytes=512, table_id=0)
+        b = AddressMap(row_bytes=512, table_id=1)
+        assert b.row_addr(0) - a.row_addr(0) >= 500_000 * 512
+
+
+class TestRowAddressing:
+    def test_row_stride_is_row_bytes(self):
+        amap = AddressMap(row_bytes=512)
+        assert amap.row_addr(1) - amap.row_addr(0) == 512
+
+    def test_column_chunks_within_row(self):
+        amap = AddressMap(row_bytes=512)
+        assert amap.row_addr(7, 128) == amap.row_addr(7) + 128
+
+    def test_index_addresses_are_int64_strided(self):
+        amap = AddressMap(row_bytes=512)
+        assert amap.index_addr(3) - amap.index_addr(2) == 8
+
+    def test_offsets_addresses(self):
+        amap = AddressMap(row_bytes=512)
+        assert amap.offsets_addr(1) - amap.offsets_addr(0) == 8
+
+    def test_output_stride_is_row_bytes(self):
+        amap = AddressMap(row_bytes=512)
+        assert amap.output_addr(1) - amap.output_addr(0) == 512
+
+
+class TestLocalWindows:
+    def test_windows_disjoint_per_warp(self):
+        a = AddressMap.local_window(0)
+        b = AddressMap.local_window(1)
+        assert b - a == LOCAL_WINDOW_BYTES
+
+    def test_local_line_wraps_within_window(self):
+        lines = LOCAL_WINDOW_BYTES // CACHE_LINE_BYTES
+        assert AddressMap.local_line(0, 0) == AddressMap.local_line(0, lines)
+        assert (
+            AddressMap.local_line(0, 1) - AddressMap.local_line(0, 0)
+            == CACHE_LINE_BYTES
+        )
+
+    def test_local_lines_stay_inside_window(self):
+        base = AddressMap.local_window(5)
+        for slot in range(200):
+            addr = AddressMap.local_line(5, slot)
+            assert base <= addr < base + LOCAL_WINDOW_BYTES

@@ -1,0 +1,128 @@
+"""The nvcc model: scheme -> registers -> occupancy/spills (paper anchors)."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.kernels import calibration as cal
+from repro.kernels.compiler import (
+    KernelBuild,
+    compile_kernel,
+    demand_registers,
+    optmt_maxrreg,
+)
+
+A100 = A100_SXM4_80GB
+
+
+class TestStockKernel:
+    def test_base_kernel_74_regs_24_warps(self):
+        build = compile_kernel(A100)
+        assert build.demand_regs == 74
+        assert build.allocated_regs == 74
+        assert build.warps_per_sm == 24
+        assert build.spilled_regs == 0
+        assert build.spill_pairs_per_iter == 0.0
+        assert build.label == "base"
+
+
+class TestOptMT:
+    def test_a100_optmt_is_40_warps(self):
+        build = compile_kernel(A100, maxrregcount=optmt_maxrreg(A100))
+        assert build.warps_per_sm == 40
+        assert build.spilled_regs == 74 - 48
+
+    def test_h100_optmt_is_32_warps(self):
+        build = compile_kernel(
+            H100_NVL, maxrregcount=optmt_maxrreg(H100_NVL)
+        )
+        assert build.warps_per_sm == 32
+
+    def test_slice_resolves_parent_calibration(self):
+        assert optmt_maxrreg(A100.scaled_slice(6)) == 48
+
+    def test_unknown_gpu_rejected(self):
+        from dataclasses import replace
+
+        with pytest.raises(KeyError):
+            optmt_maxrreg(replace(A100, name="B200"))
+
+    def test_cap_above_demand_never_spills(self):
+        build = compile_kernel(A100, maxrregcount=200)
+        assert build.spilled_regs == 0
+        assert build.allocated_regs == 74
+
+
+class TestPrefetchVariants:
+    def test_demand_registers_per_kind(self):
+        assert demand_registers(None, 0) == cal.BASE_DEMAND_REGS
+        assert demand_registers("register", 2) == 74 + 2 + 2
+        assert demand_registers("shared", 10) == cal.SMPF_DEMAND_REGS
+        assert demand_registers("local", 10) == cal.LMPF_DEMAND_REGS
+        assert demand_registers("l1d", 5) == cal.L1DPF_DEMAND_REGS
+
+    def test_smpf_compiles_to_32_warps(self):
+        # Section VI-B2: nvcc compiles SMPF at 32 warps per SM
+        build = compile_kernel(A100, prefetch="shared", prefetch_distance=10)
+        assert build.warps_per_sm == 32
+
+    def test_lmpf_and_l1dpf_stay_at_24_warps(self):
+        assert compile_kernel(
+            A100, prefetch="local", prefetch_distance=10
+        ).warps_per_sm == 24
+        assert compile_kernel(
+            A100, prefetch="l1d", prefetch_distance=5
+        ).warps_per_sm == 24
+
+    def test_rpf_occupancy_collapse_at_distance_5(self):
+        # Section VI-B2: RPF drops to 16 warps for distances >= 5
+        assert compile_kernel(
+            A100, prefetch="register", prefetch_distance=4
+        ).warps_per_sm == 24
+        assert compile_kernel(
+            A100, prefetch="register", prefetch_distance=5
+        ).warps_per_sm == 16
+
+    def test_smpf_shared_memory_budget(self):
+        # Figure 8b: prefetch_bfr[256][10] floats = 10 KB per block
+        build = compile_kernel(A100, prefetch="shared", prefetch_distance=10)
+        assert build.smem_per_block == 256 * 10 * 4
+
+    def test_label_includes_scheme_and_cap(self):
+        build = compile_kernel(
+            A100, prefetch="register", prefetch_distance=2, maxrregcount=48,
+        )
+        assert build.label == "RPF(d=2)+maxrreg=48"
+
+
+class TestValidation:
+    def test_unknown_prefetch_kind(self):
+        with pytest.raises(ValueError):
+            compile_kernel(A100, prefetch="l3", prefetch_distance=2)
+        with pytest.raises(ValueError):
+            demand_registers("l3", 2)
+
+    def test_prefetch_needs_distance(self):
+        with pytest.raises(ValueError):
+            compile_kernel(A100, prefetch="register", prefetch_distance=0)
+
+    def test_maxrreg_range(self):
+        with pytest.raises(ValueError):
+            compile_kernel(A100, maxrregcount=8)
+        with pytest.raises(ValueError):
+            compile_kernel(A100, maxrregcount=300)
+
+
+class TestSpillModel:
+    def test_spill_curve_matches_table_v(self):
+        # OptMT spills 26 registers -> ~0.88 local round-trips/iteration
+        # (fits Table V's +1.07M local loads over Table IV)
+        assert cal.spill_pairs_per_iter(26) == pytest.approx(0.88, abs=0.02)
+
+    def test_spill_curve_is_quadratic(self):
+        assert cal.spill_pairs_per_iter(40) == pytest.approx(
+            4 * cal.spill_pairs_per_iter(20)
+        )
+
+    def test_no_spills_no_pairs(self):
+        assert cal.spill_pairs_per_iter(0) == 0.0
+        assert cal.spill_pairs_per_iter(-5) == 0.0

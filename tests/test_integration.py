@@ -1,0 +1,102 @@
+"""Cross-module integration: the paper's causal chain on a small slice.
+
+These tests exercise the full stack — trace generation, compiler model,
+engine, hierarchy, profiler, schemes — and assert the paper's headline
+*mechanisms* hold end to end (not exact numbers, which are covered by
+the benchmark harness at larger scale).
+"""
+
+import pytest
+
+from repro.config.scale import SimScale
+from repro.core.embedding import kernel_workload, run_table_kernel
+from repro.core.schemes import BASE, L2P_OPTMT, OPTMT, RPF_L2P_OPTMT, RPF_OPTMT
+from repro.datasets.spec import HOTNESS_PRESETS
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return kernel_workload(
+        scale=SimScale("integration", 2),
+        batch_size=24, pooling_factor=40, table_rows=12_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(wl):
+    out = {}
+    for dataset in ("one_item", "high_hot", "random"):
+        for scheme in (BASE, OPTMT, RPF_OPTMT, L2P_OPTMT, RPF_L2P_OPTMT):
+            out[(dataset, scheme.name)] = run_table_kernel(
+                wl, HOTNESS_PRESETS[dataset], scheme
+            )
+    return out
+
+
+def time_of(results, dataset, scheme):
+    return results[(dataset, scheme)].profile.kernel_time_us
+
+
+class TestResearchGap:
+    def test_hotness_gap_exists(self, results):
+        assert time_of(results, "random", "base") > \
+            1.5 * time_of(results, "one_item", "base")
+
+    def test_gap_driven_by_scoreboard_stalls(self, results):
+        rand = results[("random", "base")].profile
+        one = results[("one_item", "base")].profile
+        assert rand.long_scoreboard_stall > 3 * one.long_scoreboard_stall
+
+    def test_latency_not_bandwidth_bound(self, results):
+        assert results[("random", "base")].profile.hbm_bw_util_pct < 60.0
+
+
+class TestOptimizations:
+    def test_every_scheme_helps_random(self, results):
+        base = time_of(results, "random", "base")
+        for scheme in ("OptMT", "RPF+OptMT", "L2P+OptMT", "RPF+L2P+OptMT"):
+            assert time_of(results, "random", scheme) < base, scheme
+
+    def test_combined_narrows_worst_case_gap(self, results):
+        base_gap = (
+            time_of(results, "random", "base")
+            / time_of(results, "one_item", "base")
+        )
+        comb_gap = (
+            time_of(results, "random", "RPF+L2P+OptMT")
+            / time_of(results, "one_item", "RPF+L2P+OptMT")
+        )
+        assert comb_gap < base_gap
+
+    def test_prefetch_raises_bandwidth_demand(self, results):
+        assert (
+            results[("random", "RPF+OptMT")].profile.avg_hbm_bw_gbps
+            > results[("random", "base")].profile.avg_hbm_bw_gbps
+        )
+
+    def test_pinning_cuts_dram_reads_for_hot(self, results):
+        assert (
+            results[("high_hot", "L2P+OptMT")].profile.dram_read_mb
+            < results[("high_hot", "OptMT")].profile.dram_read_mb
+        )
+
+    def test_issue_utilization_improves(self, results):
+        assert (
+            results[("random", "RPF+L2P+OptMT")].profile.issued_per_scheduler
+            > results[("random", "base")].profile.issued_per_scheduler
+        )
+
+
+class TestInstructionAccounting:
+    def test_loads_constant_across_datasets_for_base(self, results):
+        # the paper stresses all datasets observe the same load count
+        assert results[("random", "base")].profile.load_insts_m == \
+            pytest.approx(
+                results[("high_hot", "base")].profile.load_insts_m, rel=1e-6
+            )
+
+    def test_optmt_adds_spill_loads(self, results):
+        assert (
+            results[("random", "OptMT")].profile.load_insts_m
+            > results[("random", "base")].profile.load_insts_m
+        )

@@ -1,0 +1,32 @@
+"""The documented public API surface stays importable and consistent."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_key_entry_points_callable():
+    assert callable(repro.run_table_kernel)
+    assert callable(repro.run_inference)
+    assert callable(repro.autotune)
+    assert callable(repro.generate_trace)
+    assert callable(repro.kernel_workload)
+
+
+def test_presets_accessible():
+    assert set(repro.HOTNESS_PRESETS) == {
+        "one_item", "high_hot", "med_hot", "low_hot", "random",
+    }
+    assert sum(repro.TABLE_MIXES["Mix1"].values()) == 250
+
+
+def test_gpu_presets():
+    assert repro.A100_SXM4_80GB.num_sms == 108
+    assert repro.H100_NVL.num_sms == 132
