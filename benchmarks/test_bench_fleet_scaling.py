@@ -1,0 +1,37 @@
+"""Fleet scaling: heterogeneous capacity and routing at the p99 SLA.
+
+Beyond the paper: composes the calibrated kernels into a cluster-scale
+serving simulation and checks the two headline cluster results — a
+mixed A100+H100 fleet outserves an equal-GPU-count all-A100 fleet, and
+queue-aware routing beats oblivious round-robin on the fleet tail.
+"""
+
+
+def test_fleet_scaling(regenerate):
+    table = regenerate("fleet")
+
+    def row(fleet, policy):
+        for r in table.rows:
+            if r["fleet"] == fleet and r["policy"] == policy:
+                return r
+        raise AssertionError(f"missing row {fleet}/{policy}")
+
+    homo_jsq = row("4xA100", "jsq")
+    mixed_jsq = row("2xA100+2xH100", "jsq")
+    mixed_rr = row("2xA100+2xH100", "round-robin")
+
+    # (a) equal GPU count, higher capacity from the mixed fleet
+    assert mixed_jsq["max_qps_at_sla"] > homo_jsq["max_qps_at_sla"]
+
+    # (b) queue-aware routing beats round-robin on the fleet p99 at the
+    # common high-load probe point, and never loses on capacity
+    assert mixed_jsq["p99_at_load_ms"] < mixed_rr["p99_at_load_ms"]
+    assert mixed_jsq["max_qps_at_sla"] >= mixed_rr["max_qps_at_sla"]
+
+    # JSQ keeps the mixed fleet's replicas busy evenly; round-robin
+    # leaves the H100s underutilized while the A100s saturate
+    assert mixed_jsq["util_balance"] <= mixed_rr["util_balance"]
+
+    # sanity: every fleet sustains some load at the SLA
+    for r in table.rows:
+        assert r["max_qps_at_sla"] > 0

@@ -50,6 +50,19 @@ from repro.datasets import (
     generate_trace,
 )
 from repro.dlrm import DLRM, Batch, embedding_bag, make_batch
+from repro.fleet import (
+    ROUTING_POLICIES,
+    FleetReport,
+    FleetSpec,
+    HeteroPlacement,
+    ReplicaSpec,
+    calibrated_latency_model,
+    fleet_max_sustainable_qps,
+    hetero_lpt_shard,
+    place_tables,
+    replicas_needed,
+    simulate_fleet,
+)
 
 __version__ = "1.0.0"
 
@@ -66,28 +79,39 @@ __all__ = [
     "EmbeddingTrace",
     "FIG12_SCHEMES",
     "FULL_SCALE",
+    "FleetReport",
+    "FleetSpec",
     "GpuSpec",
     "H100_NVL",
     "HOTNESS_PRESETS",
+    "HeteroPlacement",
     "InferenceResult",
     "KernelWorkload",
     "OPTMT",
     "PAPER_MODEL",
+    "ROUTING_POLICIES",
     "RPF_L2P_OPTMT",
     "RPF_OPTMT",
+    "ReplicaSpec",
     "Scheme",
     "SimScale",
     "TABLE_MIXES",
     "TEST_SCALE",
     "TableKernelResult",
     "autotune",
+    "calibrated_latency_model",
     "embedding_bag",
+    "fleet_max_sustainable_qps",
     "generate_trace",
+    "hetero_lpt_shard",
     "kernel_workload",
     "make_batch",
+    "place_tables",
+    "replicas_needed",
     "run_embedding_stage",
     "run_inference",
     "run_table_kernel",
+    "simulate_fleet",
     "speedup",
     "__version__",
 ]

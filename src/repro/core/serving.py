@@ -110,8 +110,12 @@ def simulate_serving(
         ):
             j += 1
         batch = j - i + 1
-        start = max(arrivals[j], min(close_by, max(close_by, gpu_free)),
-                    gpu_free)
+        if batch == policy.max_batch:
+            # a full batch dispatches as soon as it fills and the GPU
+            # frees up — it does not wait out the timeout
+            start = max(arrivals[j], gpu_free)
+        else:
+            start = max(close_by, gpu_free)
         exec_s = batch_latency_ms(batch) / 1e3
         done = start + exec_s
         latencies[i:j + 1] = done - arrivals[i:j + 1]

@@ -1,0 +1,65 @@
+"""Cluster-scale serving: heterogeneous fleets, routing, placement.
+
+Composes the single-GPU pieces (kernel simulator, batching, serving)
+into a discrete-event cluster simulator: a :class:`FleetSpec` of mixed
+A100/H100 replicas, a router with pluggable load-balancing policies,
+fleet-level table placement over unequal GPUs, and capacity planning
+(max QPS at SLA, replicas-needed, autoscaler sweeps).
+"""
+
+from repro.fleet.capacity import (
+    autoscaler_sweep,
+    calibrated_latency_model,
+    fleet_max_sustainable_qps,
+    linear_latency_model,
+    replicas_needed,
+)
+from repro.fleet.placement import (
+    HeteroPlacement,
+    HeteroShard,
+    hetero_lpt_shard,
+    measure_table_times,
+    place_tables,
+)
+from repro.fleet.report import FleetReport, build_fleet_report
+from repro.fleet.router import (
+    ROUTING_POLICIES,
+    JoinShortestQueuePolicy,
+    LeastLatencyPolicy,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    resolve_policy,
+    simulate_fleet,
+)
+from repro.fleet.topology import (
+    GPU_COST_UNITS,
+    FleetSpec,
+    ReplicaSpec,
+)
+
+__all__ = [
+    "GPU_COST_UNITS",
+    "ROUTING_POLICIES",
+    "FleetReport",
+    "FleetSpec",
+    "HeteroPlacement",
+    "HeteroShard",
+    "JoinShortestQueuePolicy",
+    "LeastLatencyPolicy",
+    "PowerOfTwoPolicy",
+    "ReplicaSpec",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "autoscaler_sweep",
+    "build_fleet_report",
+    "calibrated_latency_model",
+    "fleet_max_sustainable_qps",
+    "hetero_lpt_shard",
+    "linear_latency_model",
+    "measure_table_times",
+    "place_tables",
+    "replicas_needed",
+    "resolve_policy",
+    "simulate_fleet",
+]

@@ -1,0 +1,164 @@
+"""Embedding-table placement across *unequal* GPUs.
+
+:func:`repro.core.distributed.lpt_shard` balances tables over identical
+GPUs by measured kernel time.  A heterogeneous fleet breaks its core
+assumption: the same table costs a different time on an A100 than on an
+H100, so balance must be sought in *per-GPU completion time*, not table
+count or single-GPU cost.  This module generalizes LPT to the unrelated-
+machines setting (greedy minimum-completion-time, the classic 2-approx
+heuristic production placers use): each table instance — longest first
+by its average cost — goes to the GPU that would finish it earliest
+given that GPU's own measured per-table kernel times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.config.gpu import GpuSpec
+from repro.config.model import PAPER_MODEL, DLRMConfig
+from repro.config.scale import SimScale
+from repro.core.embedding import kernel_workload, run_table_kernel
+from repro.core.schemes import Scheme
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.dlrm.timing import KERNEL_LAUNCH_US
+
+#: gpu name -> table (dataset) name -> measured kernel time in us.
+TableTimes = Mapping[str, Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class HeteroShard:
+    """One GPU's table assignment, timed with that GPU's own kernels."""
+
+    gpu_name: str
+    tables: tuple[str, ...]
+    compute_us: float
+
+
+@dataclass(frozen=True)
+class HeteroPlacement:
+    """A fleet-level table placement over unequal GPUs."""
+
+    shards: tuple[HeteroShard, ...]
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.shards)
+
+    @property
+    def critical_path_us(self) -> float:
+        """GPUs run their tables in parallel: the slowest one gates."""
+        return max(s.compute_us for s in self.shards)
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean per-GPU compute time (1.0 = perfectly balanced)."""
+        times = [s.compute_us for s in self.shards]
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean else 1.0
+
+    def tables_on(self, gpu_name: str) -> int:
+        return sum(
+            len(s.tables) for s in self.shards if s.gpu_name == gpu_name
+        )
+
+
+def hetero_lpt_shard(
+    table_times: TableTimes,
+    mix: Mapping[str, int],
+    gpu_names: Sequence[str],
+) -> list[list[str]]:
+    """Greedy min-completion-time placement onto unequal GPUs.
+
+    ``gpu_names`` lists one entry per GPU *instance* (repeats allowed);
+    shard ``i`` of the result belongs to ``gpu_names[i]``.  With
+    identical GPUs this degenerates to classic LPT.
+    """
+    if not gpu_names:
+        raise ValueError("need at least one GPU")
+    if not mix:
+        raise ValueError("table mix is empty")
+    for gpu in set(gpu_names):
+        missing = set(mix) - set(table_times.get(gpu, {}))
+        if missing:
+            raise KeyError(
+                f"no measured times on {gpu!r} for tables {sorted(missing)}"
+            )
+    instances = [name for name, count in mix.items() for _ in range(count)]
+    # longest-first by average cost across the GPU types present
+    instances.sort(
+        key=lambda t: sum(table_times[g][t] for g in set(gpu_names))
+        / len(set(gpu_names)),
+        reverse=True,
+    )
+    loads = [0.0] * len(gpu_names)
+    placement: list[list[str]] = [[] for _ in gpu_names]
+    for table in instances:
+        best = min(
+            range(len(gpu_names)),
+            key=lambda i: (loads[i] + table_times[gpu_names[i]][table], i),
+        )
+        placement[best].append(table)
+        loads[best] += table_times[gpu_names[best]][table]
+    return placement
+
+
+def measure_table_times(
+    mix: Mapping[str, int],
+    scheme: Scheme,
+    gpus: Sequence[GpuSpec],
+    *,
+    model: DLRMConfig = PAPER_MODEL,
+    num_sms: int = 2,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Per-GPU measured kernel time (+ launch) for every table in the mix."""
+    times: dict[str, dict[str, float]] = {}
+    scale = SimScale(name=f"placement{num_sms}", num_sms=num_sms)
+    for gpu in gpus:
+        if gpu.name in times:
+            continue
+        workload = kernel_workload(gpu, model, scale)
+        times[gpu.name] = {
+            name: run_table_kernel(
+                workload, HOTNESS_PRESETS[name], scheme, seed=seed
+            ).profile.kernel_time_us + KERNEL_LAUNCH_US
+            for name in mix
+        }
+    return times
+
+
+def place_tables(
+    mix: Mapping[str, int],
+    scheme: Scheme,
+    gpus: Sequence[GpuSpec],
+    *,
+    model: DLRMConfig = PAPER_MODEL,
+    num_sms: int = 2,
+    seed: int = 0,
+    table_times: TableTimes | None = None,
+) -> HeteroPlacement:
+    """Measure per-GPU kernel times and place the mix across ``gpus``.
+
+    Pass ``table_times`` to reuse measurements across sweeps.
+    """
+    if table_times is None:
+        table_times = measure_table_times(
+            mix, scheme, gpus, model=model, num_sms=num_sms, seed=seed
+        )
+    gpu_names = [gpu.name for gpu in gpus]
+    placement = hetero_lpt_shard(table_times, mix, gpu_names)
+    return HeteroPlacement(
+        shards=tuple(
+            HeteroShard(
+                gpu_name=gpu_names[i],
+                tables=tuple(tables),
+                compute_us=sum(
+                    table_times[gpu_names[i]][t] for t in tables
+                ),
+            )
+            for i, tables in enumerate(placement)
+        )
+    )

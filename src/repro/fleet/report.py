@@ -1,0 +1,96 @@
+"""Fleet-level serving reports: tails, balance, cost-normalized throughput.
+
+A :class:`FleetReport` aggregates the per-replica
+:class:`~repro.core.serving.ServingReport`s of one routed simulation
+into the numbers a capacity planner reads: fleet-wide p50/p95/p99 over
+*all* queries (not a mean of per-replica tails — tail latency does not
+average), utilization balance across replicas, and throughput
+normalized by GPU count and by cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.serving import ServingReport
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """One fleet simulation: global latency tails + per-replica detail."""
+
+    fleet_name: str
+    policy: str
+    qps: float
+    n_queries: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    replica_reports: tuple[ServingReport, ...]
+    cost_units: float
+
+    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
+        return getattr(self, f"{percentile.lower()}_ms") <= sla_ms
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replica_reports)
+
+    @property
+    def qps_per_gpu(self) -> float:
+        """Offered load divided by replica count."""
+        return self.qps / self.n_replicas
+
+    @property
+    def qps_per_cost_unit(self) -> float:
+        """Cost-normalized throughput (A100-equivalents in the divisor)."""
+        return self.qps / self.cost_units if self.cost_units else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(
+            np.mean([r.gpu_utilization for r in self.replica_reports])
+        )
+
+    @property
+    def utilization_balance(self) -> float:
+        """max / mean replica utilization (1.0 = perfectly balanced)."""
+        utils = [r.gpu_utilization for r in self.replica_reports]
+        mean = float(np.mean(utils))
+        return float(max(utils) / mean) if mean > 0 else 1.0
+
+    @property
+    def routed_fractions(self) -> dict[str, float]:
+        """Share of the query stream each replica served."""
+        total = sum(r.n_queries for r in self.replica_reports)
+        if total == 0:
+            return {r.scheme_name: 0.0 for r in self.replica_reports}
+        return {
+            r.scheme_name: r.n_queries / total for r in self.replica_reports
+        }
+
+
+def build_fleet_report(
+    fleet_name: str,
+    policy: str,
+    qps: float,
+    latencies_ms: np.ndarray,
+    replica_reports: tuple[ServingReport, ...],
+    cost_units: float,
+) -> FleetReport:
+    """Assemble a :class:`FleetReport` from routed per-query latencies."""
+    if len(latencies_ms) == 0:
+        raise ValueError("fleet simulation produced no queries")
+    return FleetReport(
+        fleet_name=fleet_name,
+        policy=policy,
+        qps=qps,
+        n_queries=int(len(latencies_ms)),
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p95_ms=float(np.percentile(latencies_ms, 95)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        replica_reports=replica_reports,
+        cost_units=cost_units,
+    )

@@ -1,0 +1,293 @@
+"""SLA-aware query routing over a heterogeneous replica fleet.
+
+One Poisson query stream hits a router that assigns each query to a
+replica at arrival time; every replica runs its own size-or-timeout
+batcher (:class:`~repro.core.serving.BatchingPolicy`) and executes
+batches back to back on its GPU, whose batch latency comes from a
+per-replica calibrated model.  This composes the single-GPU serving
+simulation in :mod:`repro.core.serving` into the cluster-scale setting
+the paper's SLA framing targets (DeepRecSys-style serving studies).
+
+Routing policies are pluggable.  ``round-robin`` is the oblivious
+baseline; ``jsq`` (join-shortest-queue) and ``power-of-two`` use queue
+state; ``least-latency`` additionally weighs each replica's speed, which
+is what makes heterogeneous fleets (A100 next to H100) behave: an
+oblivious router feeds the slow replicas the same load as the fast ones
+and their tail blows up first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.serving import ServingReport
+from repro.fleet.report import FleetReport, build_fleet_report
+from repro.fleet.topology import FleetSpec, ReplicaSpec
+
+#: A batch-latency curve: batch size -> milliseconds.
+LatencyModel = Callable[[int], float]
+
+
+class _ReplicaState:
+    """Mutable simulation state of one replica (queue + GPU timeline)."""
+
+    __slots__ = (
+        "spec", "latency_ms", "queue", "gpu_free", "busy",
+        "latencies", "batch_sizes",
+    )
+
+    def __init__(self, spec: ReplicaSpec, latency_ms: LatencyModel) -> None:
+        self.spec = spec
+        self.latency_ms = latency_ms
+        self.queue: deque[float] = deque()
+        self.gpu_free = 0.0
+        self.busy = 0.0
+        self.latencies: list[float] = []
+        self.batch_sizes: list[int] = []
+
+    # -- event mechanics ------------------------------------------------
+    def _next_dispatch_at(self) -> float:
+        """When the oldest waiting batch will dispatch (queue non-empty)."""
+        policy = self.spec.batching
+        if len(self.queue) >= policy.max_batch:
+            # full batch: goes as soon as it filled and the GPU is free
+            return max(self.queue[policy.max_batch - 1], self.gpu_free)
+        return max(self.queue[0] + policy.timeout_ms / 1e3, self.gpu_free)
+
+    def advance(self, now: float) -> None:
+        """Dispatch every batch whose dispatch time is <= ``now``."""
+        while self.queue:
+            at = self._next_dispatch_at()
+            if at > now:
+                break
+            size = min(len(self.queue), self.spec.batching.max_batch)
+            arrivals = [self.queue.popleft() for _ in range(size)]
+            exec_s = self.latency_ms(size) / 1e3
+            done = at + exec_s
+            self.latencies.extend(done - a for a in arrivals)
+            self.busy += exec_s
+            self.gpu_free = done
+            self.batch_sizes.append(size)
+
+    def enqueue(self, arrival: float) -> None:
+        self.queue.append(arrival)
+
+    # -- routing metrics ------------------------------------------------
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    def backlog_s(self, now: float) -> float:
+        """Seconds of already-committed GPU work still ahead of ``now``."""
+        return max(self.gpu_free - now, 0.0)
+
+    def estimated_completion_s(self, now: float) -> float:
+        """Predicted time-in-system for a query routed here at ``now``.
+
+        Counts every batch the queue implies, not just the next one —
+        a deeply backed-up replica must not look cheap just because the
+        latency curve saturates at one max-batch execution.
+        """
+        max_batch = self.spec.batching.max_batch
+        pending = self.queue_len() + 1
+        full_batches, remainder = divmod(pending, max_batch)
+        work_ms = full_batches * self.latency_ms(max_batch)
+        if remainder:
+            work_ms += self.latency_ms(remainder)
+        return self.backlog_s(now) + work_ms / 1e3
+
+
+class RoutingPolicy:
+    """Chooses a replica index for each arriving query."""
+
+    name = "policy"
+
+    def reset(self, n_replicas: int) -> None:  # pragma: no cover - default
+        pass
+
+    def select(
+        self,
+        replicas: Sequence[_ReplicaState],
+        now: float,
+        rng: np.random.Generator,
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Oblivious cycling; the baseline every load balancer starts from."""
+
+    name = "round-robin"
+
+    def reset(self, n_replicas: int) -> None:
+        self._next = 0
+
+    def select(self, replicas, now, rng):
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class JoinShortestQueuePolicy(RoutingPolicy):
+    """Route to the replica with the fewest waiting queries."""
+
+    name = "jsq"
+
+    def select(self, replicas, now, rng):
+        return min(
+            range(len(replicas)),
+            key=lambda i: (
+                replicas[i].queue_len(),
+                replicas[i].backlog_s(now),
+                i,
+            ),
+        )
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Sample two random replicas, keep the shorter queue (Mitzenmacher)."""
+
+    name = "power-of-two"
+
+    def select(self, replicas, now, rng):
+        if len(replicas) == 1:
+            return 0
+        a, b = rng.choice(len(replicas), size=2, replace=False)
+        key = lambda i: (replicas[i].queue_len(), replicas[i].backlog_s(now))
+        return int(a) if key(a) <= key(b) else int(b)
+
+
+class LeastLatencyPolicy(RoutingPolicy):
+    """Route to the lowest predicted completion time.
+
+    Unlike JSQ this weighs queue depth by the replica's own speed, so an
+    H100 with three waiting queries can still beat an idle A100.
+    """
+
+    name = "least-latency"
+
+    def select(self, replicas, now, rng):
+        return min(
+            range(len(replicas)),
+            key=lambda i: (replicas[i].estimated_completion_s(now), i),
+        )
+
+
+#: policy name -> zero-argument factory.
+ROUTING_POLICIES: dict[str, Callable[[], RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    JoinShortestQueuePolicy.name: JoinShortestQueuePolicy,
+    PowerOfTwoPolicy.name: PowerOfTwoPolicy,
+    LeastLatencyPolicy.name: LeastLatencyPolicy,
+}
+
+
+def resolve_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return ROUTING_POLICIES[policy]()
+    except KeyError:
+        known = ", ".join(ROUTING_POLICIES)
+        raise ValueError(
+            f"unknown routing policy {policy!r}; known: {known}"
+        ) from None
+
+
+def resolve_latency_models(
+    fleet: FleetSpec, latency_models: Mapping[str, LatencyModel]
+) -> dict[str, LatencyModel]:
+    """Map each replica to its curve, by replica name or by GPU name."""
+    resolved = {}
+    for replica in fleet.replicas:
+        model = latency_models.get(replica.name) \
+            or latency_models.get(replica.gpu.name)
+        if model is None:
+            raise KeyError(
+                f"no latency model for replica {replica.name!r} "
+                f"(gpu {replica.gpu.name!r})"
+            )
+        resolved[replica.name] = model
+    return resolved
+
+
+def simulate_fleet(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, LatencyModel],
+    *,
+    qps: float,
+    duration_s: float = 10.0,
+    policy: str | RoutingPolicy = "jsq",
+    seed: int = 0,
+) -> FleetReport:
+    """Discrete-event simulation of a routed fleet serving Poisson load.
+
+    ``latency_models`` maps replica names — or, as a convenient fallback,
+    GPU names — to batch-latency curves (ms as a function of batch size).
+    Query latency = routing (instant) + batching wait + queueing + batch
+    execution on the assigned replica.
+    """
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    models = resolve_latency_models(fleet, latency_models)
+    states = [
+        _ReplicaState(replica, models[replica.name])
+        for replica in fleet.replicas
+    ]
+    router = resolve_policy(policy)
+    router.reset(len(states))
+    rng = np.random.default_rng(seed)
+
+    n = max(1, int(qps * duration_s))
+    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
+    for arrival in arrivals:
+        now = float(arrival)
+        for state in states:
+            state.advance(now)
+        states[router.select(states, now, rng)].enqueue(now)
+    for state in states:
+        state.advance(float("inf"))
+
+    horizon = max(
+        float(arrivals[-1]), max(s.gpu_free for s in states)
+    )
+    replica_reports = tuple(
+        _replica_report(state, horizon) for state in states
+    )
+    all_latencies_ms = 1e3 * np.concatenate(
+        [np.asarray(s.latencies) for s in states]
+    )
+    return build_fleet_report(
+        fleet_name=fleet.name,
+        policy=router.name,
+        qps=qps,
+        latencies_ms=all_latencies_ms,
+        replica_reports=replica_reports,
+        cost_units=fleet.cost_units,
+    )
+
+
+def _replica_report(state: _ReplicaState, horizon: float) -> ServingReport:
+    # ServingReport.scheme_name carries the *replica* name here: fleet
+    # consumers (routed_fractions, per-replica tables) identify rows by
+    # replica, and the kernel scheme lives on ReplicaSpec.scheme.
+    lat_ms = 1e3 * np.asarray(state.latencies)
+    served = len(lat_ms)
+    pct = (
+        (lambda q: float(np.percentile(lat_ms, q))) if served
+        else (lambda q: 0.0)
+    )
+    return ServingReport(
+        scheme_name=state.spec.name,
+        qps=served / horizon if horizon > 0 else 0.0,
+        n_queries=served,
+        p50_ms=pct(50),
+        p95_ms=pct(95),
+        p99_ms=pct(99),
+        mean_batch_size=(
+            float(np.mean(state.batch_sizes)) if state.batch_sizes else 0.0
+        ),
+        gpu_utilization=state.busy / horizon if horizon > 0 else 0.0,
+    )

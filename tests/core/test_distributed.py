@@ -50,6 +50,57 @@ class TestAllGather:
         assert 0 < two < four
 
 
+class TestLptEdgeCases:
+    def test_more_gpus_than_tables(self):
+        placement = lpt_shard({"a": 3.0}, {"a": 2}, n_gpus=5)
+        assert sum(len(p) for p in placement) == 2
+        assert sum(1 for p in placement if not p) == 3
+        # the placed tables land on distinct GPUs
+        assert max(len(p) for p in placement) == 1
+
+    def test_more_gpus_than_tables_stage_runs(self, wl):
+        result = run_distributed_stage(
+            wl, {"random": 2}, BASE, n_gpus=4,
+        )
+        assert result.n_gpus == 4
+        empty = [s for s in result.shards if not s.tables]
+        assert len(empty) == 2
+        assert all(s.compute_us == 0.0 for s in empty)
+        assert result.critical_path_us > 0
+
+    def test_skewed_mix_imbalance_bounded_by_heaviest_table(self, wl):
+        """One giant table dominates: imbalance reflects it but LPT
+        still spreads everything else away from that GPU."""
+        times = {"giant": 100.0, "tiny": 1.0}
+        placement = lpt_shard(times, {"giant": 1, "tiny": 8}, n_gpus=2)
+        giant_gpu = next(
+            i for i, p in enumerate(placement) if "giant" in p
+        )
+        # every tiny table goes to the other GPU
+        assert len(placement[1 - giant_gpu]) == 8
+        assert placement[giant_gpu] == ["giant"]
+
+
+class TestAllGatherEdgeCases:
+    def test_single_gpu_stage_has_zero_allgather(self, wl):
+        result = run_distributed_stage(
+            wl, {"random": 3}, BASE, n_gpus=1,
+        )
+        assert result.allgather_us == 0.0
+        assert result.critical_path_us == pytest.approx(
+            result.shards[0].compute_us
+        )
+
+    def test_imbalance_on_skewed_measured_mix(self, wl):
+        """A hot/random split shards unevenly per table but LPT keeps
+        the per-GPU *time* imbalance modest."""
+        result = run_distributed_stage(
+            wl, {"one_item": 6, "random": 2}, BASE, n_gpus=2,
+        )
+        assert result.imbalance < 2.0
+        assert result.imbalance >= 1.0
+
+
 class TestDistributedStage:
     def test_all_tables_placed(self, wl):
         result = run_distributed_stage(

@@ -1,0 +1,96 @@
+"""Fleet report aggregation: global tails, balance, cost normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.serving import ServingReport
+from repro.fleet.report import FleetReport, build_fleet_report
+
+
+def replica(name, n_queries=100, p99=20.0, util=0.5):
+    return ServingReport(
+        scheme_name=name,
+        qps=1000.0,
+        n_queries=n_queries,
+        p50_ms=5.0,
+        p95_ms=15.0,
+        p99_ms=p99,
+        mean_batch_size=32.0,
+        gpu_utilization=util,
+    )
+
+
+def make_report(**kwargs):
+    defaults = dict(
+        fleet_name="f",
+        policy="jsq",
+        qps=4000.0,
+        latencies_ms=np.linspace(1.0, 100.0, 200),
+        replica_reports=(replica("a", util=0.4), replica("b", util=0.6)),
+        cost_units=2.9,
+    )
+    defaults.update(kwargs)
+    return build_fleet_report(**defaults)
+
+
+class TestBuildFleetReport:
+    def test_percentiles_from_global_latencies(self):
+        report = make_report()
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.p99_ms == pytest.approx(
+            float(np.percentile(np.linspace(1.0, 100.0, 200), 99))
+        )
+
+    def test_query_count(self):
+        assert make_report().n_queries == 200
+
+    def test_empty_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            make_report(latencies_ms=np.array([]))
+
+
+class TestFleetReportMetrics:
+    def test_meets_sla_percentile_selection(self):
+        report = make_report()
+        assert report.meets_sla(1e6)
+        assert not report.meets_sla(0.5)
+        assert report.meets_sla(report.p95_ms, percentile="p95")
+
+    def test_qps_per_gpu_and_cost(self):
+        report = make_report()
+        assert report.qps_per_gpu == pytest.approx(2000.0)
+        assert report.qps_per_cost_unit == pytest.approx(4000.0 / 2.9)
+
+    def test_utilization_balance(self):
+        report = make_report()
+        assert report.mean_utilization == pytest.approx(0.5)
+        assert report.utilization_balance == pytest.approx(0.6 / 0.5)
+
+    def test_perfect_balance_is_one(self):
+        report = make_report(
+            replica_reports=(replica("a", util=0.5), replica("b", util=0.5)),
+        )
+        assert report.utilization_balance == pytest.approx(1.0)
+
+    def test_routed_fractions_sum_to_one(self):
+        report = make_report(
+            replica_reports=(
+                replica("a", n_queries=150), replica("b", n_queries=50),
+            ),
+        )
+        fractions = report.routed_fractions
+        assert fractions["a"] == pytest.approx(0.75)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_idle_fleet_fractions_are_zero(self):
+        report = make_report(
+            replica_reports=(
+                replica("a", n_queries=0), replica("b", n_queries=0),
+            ),
+        )
+        assert set(report.routed_fractions.values()) == {0.0}
+
+    def test_frozen(self):
+        report = make_report()
+        with pytest.raises(AttributeError):
+            report.qps = 1.0

@@ -1,0 +1,145 @@
+"""Routed fleet simulation: policies, dispatch semantics, consistency."""
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.core.serving import BatchingPolicy, simulate_serving
+from repro.fleet.router import (
+    ROUTING_POLICIES,
+    JoinShortestQueuePolicy,
+    resolve_policy,
+    simulate_fleet,
+)
+from repro.fleet.topology import FleetSpec
+
+
+def a100_model(batch):
+    return 12.0 + 0.010 * batch
+
+
+def h100_model(batch):
+    return 7.0 + 0.0055 * batch
+
+
+MODELS = {A100_SXM4_80GB.name: a100_model, H100_NVL.name: h100_model}
+POLICY = BatchingPolicy(max_batch=256, timeout_ms=5.0)
+
+
+def homo_fleet(n=2):
+    return FleetSpec.homogeneous(A100_SXM4_80GB, n, batching=POLICY)
+
+
+def mixed_fleet():
+    return FleetSpec.mixed(
+        {A100_SXM4_80GB: 2, H100_NVL: 2}, batching=POLICY
+    )
+
+
+class TestPolicyResolution:
+    def test_all_registered_policies_resolve(self):
+        for name in ROUTING_POLICIES:
+            assert resolve_policy(name).name == name
+
+    def test_instance_passthrough(self):
+        policy = JoinShortestQueuePolicy()
+        assert resolve_policy(policy) is policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            resolve_policy("random-spray")
+
+
+class TestSimulateFleet:
+    def test_single_replica_matches_single_gpu_simulation(self):
+        """A 1-replica fleet is exactly the core serving simulator."""
+        fleet = homo_fleet(1)
+        fleet_report = simulate_fleet(
+            fleet, MODELS, qps=2000, duration_s=2.0, seed=5,
+        )
+        solo = simulate_serving(
+            a100_model, qps=2000, duration_s=2.0, policy=POLICY, seed=5,
+        )
+        assert fleet_report.p99_ms == pytest.approx(solo.p99_ms)
+        assert fleet_report.p50_ms == pytest.approx(solo.p50_ms)
+
+    def test_deterministic_by_seed(self):
+        a = simulate_fleet(mixed_fleet(), MODELS, qps=3000, seed=7,
+                           duration_s=1.0)
+        b = simulate_fleet(mixed_fleet(), MODELS, qps=3000, seed=7,
+                           duration_s=1.0)
+        assert a.p99_ms == b.p99_ms
+        assert a.n_queries == b.n_queries
+
+    def test_round_robin_splits_evenly(self):
+        report = simulate_fleet(
+            homo_fleet(4), MODELS, qps=4000, duration_s=1.0,
+            policy="round-robin",
+        )
+        counts = [r.n_queries for r in report.replica_reports]
+        assert max(counts) - min(counts) <= 1
+
+    def test_jsq_shifts_load_to_faster_replicas(self):
+        report = simulate_fleet(
+            mixed_fleet(), MODELS, qps=12_000, duration_s=2.0,
+            policy="jsq",
+        )
+        fractions = report.routed_fractions
+        a100 = fractions[f"{A100_SXM4_80GB.name}/0"]
+        h100 = fractions[f"{H100_NVL.name}/0"]
+        assert h100 > a100
+
+    def test_jsq_beats_round_robin_tail_on_mixed_fleet_at_load(self):
+        kwargs = dict(qps=18_000, duration_s=2.0, seed=2)
+        rr = simulate_fleet(
+            mixed_fleet(), MODELS, policy="round-robin", **kwargs,
+        )
+        jsq = simulate_fleet(mixed_fleet(), MODELS, policy="jsq", **kwargs)
+        assert jsq.p99_ms < rr.p99_ms
+
+    def test_full_batches_dispatch_early(self):
+        """Under heavy load batches fill to max_batch, never beyond."""
+        report = simulate_fleet(
+            homo_fleet(1), MODELS, qps=50_000, duration_s=0.5,
+        )
+        sizes = report.replica_reports[0].mean_batch_size
+        assert 0 < sizes <= POLICY.max_batch
+
+    def test_all_queries_served(self):
+        report = simulate_fleet(
+            mixed_fleet(), MODELS, qps=2000, duration_s=1.0,
+        )
+        assert report.n_queries == 2000
+        assert sum(r.n_queries for r in report.replica_reports) == 2000
+
+    def test_percentiles_ordered(self):
+        report = simulate_fleet(mixed_fleet(), MODELS, qps=3000,
+                                duration_s=1.0)
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+
+    def test_power_of_two_and_least_latency_run(self):
+        for policy in ("power-of-two", "least-latency"):
+            report = simulate_fleet(
+                mixed_fleet(), MODELS, qps=2000, duration_s=0.5,
+                policy=policy,
+            )
+            assert report.policy == policy
+            assert report.n_queries == 1000
+
+    def test_latency_model_by_replica_name_wins(self):
+        fleet = homo_fleet(2)
+        models = {
+            fleet.replicas[0].name: lambda b: 1.0,
+            fleet.replicas[1].name: lambda b: 1.0,
+            A100_SXM4_80GB.name: lambda b: 1e6,  # would dominate if used
+        }
+        report = simulate_fleet(fleet, models, qps=500, duration_s=0.5)
+        assert report.p99_ms < 100.0
+
+    def test_missing_latency_model_raises(self):
+        with pytest.raises(KeyError, match="no latency model"):
+            simulate_fleet(mixed_fleet(), {A100_SXM4_80GB.name: a100_model},
+                           qps=100)
+
+    def test_invalid_qps_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fleet(homo_fleet(), MODELS, qps=0)

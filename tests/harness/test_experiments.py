@@ -19,7 +19,11 @@ class TestRegistry:
             "fig1", "fig5", "fig6", "fig9", "fig11", "fig12", "fig13",
             "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
         }
-        assert set(EXPERIMENTS) == expected
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extensions_registered(self):
+        # beyond-the-paper experiments ride in the same registry
+        assert "fleet" in EXPERIMENTS
 
     def test_descriptions_present(self):
         for exp_id, desc in list_experiments():
