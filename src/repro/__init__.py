@@ -50,6 +50,7 @@ from repro.datasets import (
     generate_trace,
 )
 from repro.dlrm import DLRM, Batch, embedding_bag, make_batch
+from repro.gpusim import KernelMemo, default_memo, set_default_memo
 from repro.fleet import (
     ROUTING_POLICIES,
     FleetReport,
@@ -86,6 +87,7 @@ __all__ = [
     "HOTNESS_PRESETS",
     "HeteroPlacement",
     "InferenceResult",
+    "KernelMemo",
     "KernelWorkload",
     "OPTMT",
     "PAPER_MODEL",
@@ -100,6 +102,7 @@ __all__ = [
     "TableKernelResult",
     "autotune",
     "calibrated_latency_model",
+    "default_memo",
     "embedding_bag",
     "fleet_max_sustainable_qps",
     "generate_trace",
@@ -111,6 +114,7 @@ __all__ = [
     "run_embedding_stage",
     "run_inference",
     "run_table_kernel",
+    "set_default_memo",
     "simulate_fleet",
     "speedup",
     "__version__",

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config.gpu import GpuSpec, A100_SXM4_80GB
+from repro.config.gpu import CACHE_LINE_BYTES, GpuSpec, A100_SXM4_80GB
 from repro.config.model import DLRMConfig, PAPER_MODEL
 from repro.config.scale import BENCH_SCALE, SimScale
 from repro.core.schemes import Scheme
@@ -21,7 +21,8 @@ from repro.datasets.trace import EmbeddingTrace
 from repro.dlrm.timing import KERNEL_LAUNCH_US
 from repro.gpusim.engine import run_kernel
 from repro.gpusim.hierarchy import MemoryHierarchy
-from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.memo import KernelMemo, MemoizedKernelRun, default_memo, memo_key
+from repro.gpusim.profiler import HierarchyStats, KernelProfile
 from repro.kernels import calibration as cal
 from repro.kernels.address_map import STREAMING_RANGE, AddressMap
 from repro.kernels.compiler import KernelBuild
@@ -32,7 +33,7 @@ from repro.kernels.pinning import (
     profile_hot_rows,
     simulate_pin_kernel,
 )
-from repro.kernels.registry import build_programs
+from repro.kernels.registry import build_trace
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,35 @@ def kernel_workload(
     )
 
 
+def _lowering_fingerprint() -> dict:
+    """Everything outside the explicit key inputs that shapes the op
+    stream: calibration constants and the virtual address layout.
+    Hashed into memo keys so that tweaking a constant self-invalidates
+    stale cached timings (structural code changes still require a
+    ``MEMO_SCHEMA_VERSION`` bump)."""
+    global _LOWERING_FP
+    if _LOWERING_FP is None:
+        probe = AddressMap(row_bytes=CACHE_LINE_BYTES)
+        _LOWERING_FP = {
+            "cal": {
+                name: getattr(cal, name)
+                for name in dir(cal) if name.isupper()
+            },
+            "layout": (
+                probe.offsets_addr(1),
+                probe.index_addr(1),
+                probe.row_addr(1),
+                probe.output_addr(1),
+                AddressMap.local_line(1, 1),
+                STREAMING_RANGE,
+            ),
+        }
+    return _LOWERING_FP
+
+
+_LOWERING_FP: dict | None = None
+
+
 @dataclass(frozen=True)
 class TableKernelResult:
     """One table's kernel execution under one scheme."""
@@ -100,11 +130,19 @@ def run_table_kernel(
     trace: EmbeddingTrace | None = None,
     hot_rows: np.ndarray | None = None,
     time_pin_kernel: bool = False,
+    memo: KernelMemo | None = None,
 ) -> TableKernelResult:
     """Simulate one embedding table's kernel under a scheme.
 
     ``trace``/``hot_rows`` can be supplied to reuse work across sweeps;
     by default they are generated from ``spec`` deterministically.
+
+    The simulation itself is memoized: the engine is deterministic, so
+    its raw result is a pure function of the launch content, and
+    repeated identical launches are answered from ``memo`` (default:
+    the process-wide :func:`~repro.gpusim.memo.default_memo`, which is
+    also disk-backed when ``REPRO_KERNEL_MEMO_DIR`` is set) without
+    building or running the kernel.
     """
     gpu = workload.gpu
     if trace is None:
@@ -117,8 +155,73 @@ def run_table_kernel(
         )
     build = scheme.compile(gpu)
     amap = AddressMap(row_bytes=workload.row_bytes)
-
     set_aside = gpu.l2_set_aside_bytes if scheme.l2_pinning else 0
+
+    if memo is None:
+        memo = default_memo()
+    key = None
+    if memo.enabled:
+        if hot_rows is not None:
+            pin_part = hot_rows
+        elif scheme.l2_pinning:
+            # hot rows not profiled yet: key on their derivation inputs
+            # so a memo hit skips the (expensive) offline profiling pass
+            pin_part = (
+                "derived-hot-rows", spec,
+                workload.batch_size, workload.pooling_factor,
+                workload.table_rows,
+                pinnable_rows(set_aside, workload.row_bytes), seed,
+            )
+        else:
+            pin_part = None
+        # Everything the simulation depends on: workload content (the
+        # compiled trace is a pure function of trace + build + amap),
+        # GPU timing model, scheme knobs, pinned rows, and the lowering
+        # constants that shape the op stream.
+        key = memo_key(
+            "table-kernel",
+            f"{scheme.name}/{spec.name}",
+            gpu,
+            workload.full_gpu.l1_bytes,
+            workload.row_bytes,
+            trace.indices,
+            trace.offsets,
+            trace.table_rows,
+            build,
+            set_aside,
+            pin_part,
+            time_pin_kernel,
+            _lowering_fingerprint(),
+        )
+        cached = memo.get(key)
+        if cached is not None:
+            profile = KernelProfile.from_stats(
+                gpu,
+                cached.stats,
+                cached.hierarchy,
+                chip_factor=workload.factor,
+                full_hbm_gbps=workload.full_gpu.hbm_bandwidth_gbps,
+            )
+            return TableKernelResult(
+                scheme=scheme,
+                dataset=spec.name,
+                build=build,
+                profile=profile,
+                pinned_lines=cached.pinned_lines,
+                pin_coverage=cached.pin_coverage,
+                pin_kernel_us=cached.pin_kernel_us,
+            )
+
+    if scheme.l2_pinning and hot_rows is None:
+        hot_rows = profile_hot_rows(
+            spec,
+            batch_size=workload.batch_size,
+            pooling_factor=workload.pooling_factor,
+            table_rows=workload.table_rows,
+            k=pinnable_rows(set_aside, workload.row_bytes),
+            seed=seed,
+        )
+
     hierarchy = MemoryHierarchy(
         gpu, l2_set_aside_bytes=set_aside, streaming_range=STREAMING_RANGE
     )
@@ -134,15 +237,6 @@ def run_table_kernel(
     pin_cov = 0.0
     pin_us = 0.0
     if scheme.l2_pinning:
-        if hot_rows is None:
-            hot_rows = profile_hot_rows(
-                spec,
-                batch_size=workload.batch_size,
-                pooling_factor=workload.pooling_factor,
-                table_rows=workload.table_rows,
-                k=pinnable_rows(set_aside, workload.row_bytes),
-                seed=seed,
-            )
         if time_pin_kernel:
             scratch = MemoryHierarchy(
                 gpu,
@@ -154,11 +248,11 @@ def run_table_kernel(
         pinned_lines = pin_hot_rows(hierarchy, hot_rows, amap)
         pin_cov = pinned_coverage(trace, hot_rows)
 
-    programs = build_programs(trace, build, amap)
+    compiled = build_trace(trace, build, amap)
     stats = run_kernel(
         gpu,
         hierarchy,
-        programs,
+        compiled,
         warps_per_sm=build.warps_per_sm,
         warps_per_block=build.warps_per_block,
         name=f"{scheme.name}/{spec.name}",
@@ -170,6 +264,14 @@ def run_table_kernel(
         chip_factor=workload.factor,
         full_hbm_gbps=workload.full_gpu.hbm_bandwidth_gbps,
     )
+    if key is not None:
+        memo.put(key, MemoizedKernelRun(
+            stats,
+            HierarchyStats.capture(hierarchy),
+            pinned_lines=pinned_lines,
+            pin_coverage=pin_cov,
+            pin_kernel_us=pin_us,
+        ))
     return TableKernelResult(
         scheme=scheme,
         dataset=spec.name,
@@ -211,6 +313,7 @@ def run_embedding_stage(
     scheme: Scheme,
     *,
     seed: int = 0,
+    memo: KernelMemo | None = None,
 ) -> EmbeddingStageResult:
     """Simulate the embedding stage for a (possibly heterogeneous) mix
     of tables, e.g. ``{"high_hot": 100, "med_hot": 75, ...}`` (Table VII).
@@ -226,7 +329,7 @@ def run_embedding_stage(
             raise ValueError(f"table count for {name!r} must be positive")
         spec = HOTNESS_PRESETS[name]
         per_table[name] = run_table_kernel(
-            workload, spec, scheme, seed=seed
+            workload, spec, scheme, seed=seed, memo=memo
         )
     return EmbeddingStageResult(
         scheme=scheme,

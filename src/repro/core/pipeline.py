@@ -20,6 +20,7 @@ from repro.core.embedding import (
 )
 from repro.core.schemes import Scheme
 from repro.dlrm.timing import NonEmbeddingTiming, non_embedding_time
+from repro.gpusim.memo import KernelMemo
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ def run_inference(
     scale: SimScale = BENCH_SCALE,
     seed: int = 0,
     workload: KernelWorkload | None = None,
+    memo: KernelMemo | None = None,
 ) -> InferenceResult:
     """End-to-end DLRM inference for one batch.
 
@@ -76,7 +78,8 @@ def run_inference(
             )
     if workload is None:
         workload = kernel_workload(gpu, model, scale)
-    embedding = run_embedding_stage(workload, mix, scheme, seed=seed)
+    embedding = run_embedding_stage(workload, mix, scheme, seed=seed,
+                                    memo=memo)
     non_emb = non_embedding_time(gpu, model)
     return InferenceResult(
         scheme=scheme,

@@ -28,6 +28,7 @@ from repro.core.pipeline import run_inference
 from repro.core.schemes import Scheme
 from repro.core.serving import interpolated_latency_model
 from repro.dlrm.timing import non_embedding_time
+from repro.gpusim.memo import KernelMemo
 from repro.fleet.report import FleetReport
 from repro.fleet.router import LatencyModel, RoutingPolicy, simulate_fleet
 from repro.fleet.topology import FleetSpec
@@ -71,12 +72,17 @@ def calibrated_latency_model(
     model: DLRMConfig = PAPER_MODEL,
     num_sms: int = 2,
     seed: int = 0,
+    memo: KernelMemo | None = None,
 ) -> LatencyModel:
     """Batch-latency curve from full pipeline simulations.
 
     Runs the end-to-end inference simulation at each calibration batch
     size and interpolates between the points — one sweep per
-    (GPU, scheme) serves every routing/load experiment.
+    (GPU, scheme) serves every routing/load experiment.  The underlying
+    kernel simulations flow through the kernel memo (the process
+    default, or ``memo``), so repeated calibrations — across planner
+    sweeps, autoscaler steps, or whole runs when the disk store is
+    enabled — cost almost nothing.
     """
     points = []
     for batch in batch_sizes:
@@ -84,7 +90,7 @@ def calibrated_latency_model(
         scale = SimScale(name=f"fleet{num_sms}", num_sms=num_sms)
         result = run_inference(
             dataset, scheme, gpu=gpu, model=batch_model, scale=scale,
-            seed=seed,
+            seed=seed, memo=memo,
         )
         points.append(result.batch_latency_ms)
     return interpolated_latency_model(batch_sizes, points)

@@ -11,6 +11,13 @@ from repro.gpusim.cache import SectoredCache
 from repro.gpusim.engine import RawKernelStats, run_kernel
 from repro.gpusim.hbm import HbmChannel
 from repro.gpusim.hierarchy import MemoryHierarchy, Tlb
+from repro.gpusim.memo import (
+    KernelMemo,
+    MemoizedKernelRun,
+    default_memo,
+    memo_key,
+    set_default_memo,
+)
 from repro.gpusim.occupancy import (
     KernelResources,
     max_regs_for_warps,
@@ -18,20 +25,30 @@ from repro.gpusim.occupancy import (
     regs_per_warp_allocated,
     resident_warps,
 )
-from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.profiler import HierarchyStats, KernelProfile
+from repro.gpusim.trace import CompiledTrace, TraceBuilder, compile_programs
 
 __all__ = [
+    "CompiledTrace",
     "HbmChannel",
+    "HierarchyStats",
+    "KernelMemo",
     "KernelProfile",
     "KernelResources",
+    "MemoizedKernelRun",
     "MemoryHierarchy",
     "RawKernelStats",
     "SectoredCache",
     "Tlb",
+    "TraceBuilder",
+    "compile_programs",
+    "default_memo",
     "isa",
     "max_regs_for_warps",
+    "memo_key",
     "occupancy_pct",
     "regs_per_warp_allocated",
     "resident_warps",
     "run_kernel",
+    "set_default_memo",
 ]

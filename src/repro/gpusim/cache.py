@@ -36,7 +36,10 @@ class SectoredCache:
         self.capacity_bytes = capacity_bytes
         self.assoc = assoc
         self.num_sets = max(1, capacity_bytes // (CACHE_LINE_BYTES * assoc))
-        self.sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # Per-set recency order as an insertion-ordered dict: most
+        # recently used at the END, victim at the front — O(1) hit
+        # promotion and eviction instead of O(assoc) list surgery.
+        self.sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
         self.hit_sectors = 0
         self.miss_sectors = 0
         self.pinned: set[int] = set()
@@ -57,14 +60,13 @@ class SectoredCache:
         ways = self.sets[line % self.num_sets]
         if line in ways:
             self.hit_sectors += sectors
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
+            del ways[line]  # promote to MRU (re-insert at the end)
+            ways[line] = None
             return True
         self.miss_sectors += sectors
-        ways.insert(0, line)
+        ways[line] = None
         if len(ways) > self.assoc:
-            ways.pop()
+            del ways[next(iter(ways))]  # evict LRU (front)
         return False
 
     def contains(self, line: int) -> bool:
@@ -78,13 +80,12 @@ class SectoredCache:
             return
         ways = self.sets[line % self.num_sets]
         if line in ways:
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
+            del ways[line]
+            ways[line] = None
             return
-        ways.insert(0, line)
+        ways[line] = None
         if len(ways) > self.assoc:
-            ways.pop()
+            del ways[next(iter(ways))]
 
     def pin(self, line: int) -> bool:
         """Pin a line into the set-aside region.  Returns False when the
@@ -95,9 +96,7 @@ class SectoredCache:
             return False
         self.pinned.add(line)
         # A pinned line must not also occupy a normal way.
-        ways = self.sets[line % self.num_sets]
-        if line in ways:
-            ways.remove(line)
+        self.sets[line % self.num_sets].pop(line, None)
         return True
 
     def unpin_all(self) -> None:

@@ -11,21 +11,51 @@ Models what the paper's characterization hinges on, at warp granularity:
   queued blocks onto SMs as slots free up (waves),
 * warps that are ready but not picked accumulate "not selected" stalls.
 
-The engine consumes warp *programs* — generators yielding the 5-tuple
-micro-ops defined in :mod:`repro.gpusim.isa` — and a
-:class:`~repro.gpusim.hierarchy.MemoryHierarchy` that provides load
-completion times.  Scheduling is loose-round-robin: the ready warp with
-the earliest ready time issues first; ties break deterministically.
+The engine consumes warp *programs* — either generators yielding the
+5-tuple micro-ops defined in :mod:`repro.gpusim.isa`, or a
+:class:`~repro.gpusim.trace.CompiledTrace` that lowers the whole launch
+into flat arrays — and a :class:`~repro.gpusim.hierarchy.MemoryHierarchy`
+that provides load completion times.  Scheduling is loose-round-robin:
+the ready warp with the earliest ready time issues first; ties break
+deterministically.
+
+Two executors implement identical semantics:
+
+* the **compiled fast path** (default) indexes a ``CompiledTrace``'s
+  preallocated op array; generator programs are lowered once via
+  :func:`~repro.gpusim.trace.compile_programs` before execution,
+* the **reference path** (``reference=True``, or
+  ``REPRO_GPUSIM_ENGINE=reference``) drives the generators directly —
+  the slow, obviously-correct implementation the fast path is pinned
+  against, field for field, in ``tests/gpusim/test_trace_compile.py``.
+
+Scheduling semantics shared by both executors:
+
+* **ALU-burst coalescing** — consecutive ALU micro-ops with no
+  intervening dependency issue as a single burst; the warp holds its
+  SMSP issue port across the chain (a dependent arithmetic chain never
+  yields the port mid-burst).  This is what lets the trace compiler
+  fuse such ops at compile time without changing any statistic.
+* **one-step scoreboard scheduling** — when the op following a
+  dispatch depends on an outstanding scoreboard tag, the stall
+  (``ready_time - warp_avail``) is attributed immediately and the warp
+  is scheduled directly at the dependency's ready time, rather than
+  waking at ``warp_avail`` only to re-queue.  Stall attribution is
+  therefore measured from when the warp *could have issued* — the way
+  NCU's warp-state sampling attributes long/short-scoreboard cycles —
+  and each dependency costs one heap event instead of two.  Makespans,
+  issue counts and not-selected stalls are unaffected.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
-from repro.config.gpu import GpuSpec
+from repro.config.gpu import CACHE_LINE_BYTES, GpuSpec
 from repro.gpusim.hierarchy import MemoryHierarchy
 from repro.gpusim.isa import (
     OP_ALU,
@@ -38,8 +68,19 @@ from repro.gpusim.isa import (
     OP_ST_LOCAL,
     OP_ST_SHARED,
 )
+from repro.gpusim.trace import CompiledTrace, compile_programs
 
 WarpProgram = Callable[[], Iterator[tuple]]
+
+#: Environment switch for the default execution path; set to
+#: ``reference`` to run the generator-driven reference implementation.
+ENGINE_ENV = "REPRO_GPUSIM_ENGINE"
+
+
+def _reference_default() -> bool:
+    return os.environ.get(ENGINE_ENV, "").strip().lower() in (
+        "reference", "generator", "slow"
+    )
 
 
 class _Warp:
@@ -90,25 +131,294 @@ class RawKernelStats:
 def run_kernel(
     gpu: GpuSpec,
     hierarchy: MemoryHierarchy,
-    programs: Iterable[WarpProgram],
+    programs: Iterable[WarpProgram] | CompiledTrace,
     *,
     warps_per_sm: int,
     warps_per_block: int = 8,
     name: str = "kernel",
+    reference: bool | None = None,
 ) -> RawKernelStats:
     """Execute one kernel launch and return its raw statistics.
 
-    ``programs`` supplies one generator factory per warp, in launch order;
-    consecutive groups of ``warps_per_block`` form thread blocks, which
-    are distributed round-robin over the simulated SMs and streamed into
+    ``programs`` supplies one generator factory per warp in launch order,
+    or a pre-lowered :class:`CompiledTrace`; consecutive groups of
+    ``warps_per_block`` form thread blocks, which are distributed
+    round-robin over the simulated SMs and streamed into
     ``warps_per_sm // warps_per_block`` resident slots per SM.
+
+    ``reference`` selects the generator-driven reference executor
+    (default: the compiled fast path, unless ``REPRO_GPUSIM_ENGINE``
+    says otherwise).  Both executors produce identical statistics.
     """
+    if warps_per_sm <= 0:
+        raise ValueError("kernel has zero occupancy (too many registers?)")
+    if reference is None:
+        reference = _reference_default()
+    if isinstance(programs, CompiledTrace):
+        trace = programs
+        if trace.n_warps == 0:
+            raise ValueError("kernel launched with zero warps")
+        if reference:
+            return _run_reference(
+                gpu, hierarchy, trace.to_programs(),
+                warps_per_sm=warps_per_sm, warps_per_block=warps_per_block,
+                name=name,
+            )
+        return _run_compiled(
+            gpu, hierarchy, trace,
+            warps_per_sm=warps_per_sm, warps_per_block=warps_per_block,
+            name=name,
+        )
     programs = list(programs)
     if not programs:
         raise ValueError("kernel launched with zero warps")
-    if warps_per_sm <= 0:
-        raise ValueError("kernel has zero occupancy (too many registers?)")
+    if reference:
+        return _run_reference(
+            gpu, hierarchy, programs,
+            warps_per_sm=warps_per_sm, warps_per_block=warps_per_block,
+            name=name,
+        )
+    return _run_compiled(
+        gpu, hierarchy, compile_programs(programs),
+        warps_per_sm=warps_per_sm, warps_per_block=warps_per_block,
+        name=name,
+    )
 
+
+# ----------------------------------------------------------------------
+# compiled fast path: index the flat trace op array
+# ----------------------------------------------------------------------
+def _run_compiled(
+    gpu: GpuSpec,
+    hierarchy: MemoryHierarchy,
+    trace: CompiledTrace,
+    *,
+    warps_per_sm: int,
+    warps_per_block: int,
+    name: str,
+) -> RawKernelStats:
+    num_sms = gpu.num_sms
+    smsps_per_sm = gpu.smsps_per_sm
+    n_smsp = num_sms * smsps_per_sm
+    lat_shared = gpu.lat_shared
+
+    # Instruction-mix counters are schedule-independent: every op issues
+    # exactly once, so they are precomputed from the trace and the hot
+    # loop tracks only time-dependent quantities.
+    ops, counts = trace.exec_form()
+    op_dep = trace.dep
+    starts = trace.warp_starts
+    n_warps = trace.n_warps
+
+    blocks = [
+        range(i, min(i + warps_per_block, n_warps))
+        for i in range(0, n_warps, warps_per_block)
+    ]
+    queues: list[deque] = [deque() for _ in range(num_sms)]
+    for bid, block in enumerate(blocks):
+        queues[bid % num_sms].append(block)
+    resident_slots = max(1, warps_per_sm // warps_per_block)
+
+    smsp_next_free = [0.0] * n_smsp
+    sm_warp_counter = [0] * num_sms
+
+    # per-warp state, indexed by launch id (pc travels in heap entries)
+    w_sm = [0] * n_warps
+    w_smsp = [0] * n_warps
+    w_start = [0.0] * n_warps
+    w_pending: list[dict] = [None] * n_warps  # type: ignore[list-item]
+    w_short: list[set] = [None] * n_warps  # type: ignore[list-item]
+    w_block: list[list] = [None] * n_warps  # type: ignore[list-item]
+
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+
+    stall_long = stall_short = stall_ns = 0.0
+    warp_resident = 0.0
+    max_finish = 0.0
+    n_warps_run = 0
+
+    def start_block(sm: int, warp_ids, t: float) -> None:
+        nonlocal seq, n_warps_run
+        # block state: [warps remaining, latest finish, home SM]
+        block_state = [len(warp_ids), t, sm]
+        for wi in warp_ids:
+            smsp = sm * smsps_per_sm + (sm_warp_counter[sm] % smsps_per_sm)
+            sm_warp_counter[sm] += 1
+            w_sm[wi] = sm
+            w_smsp[wi] = smsp
+            w_start[wi] = t
+            w_pending[wi] = {}
+            w_short[wi] = set()
+            w_block[wi] = block_state
+            n_warps_run += 1
+            if starts[wi] == starts[wi + 1]:  # empty program
+                _retire(wi, t)
+                continue
+            seq += 1
+            heapq.heappush(heap, (t, seq, wi, starts[wi]))
+
+    def _retire(wi: int, finish: float) -> None:
+        nonlocal warp_resident, max_finish
+        warp_resident += finish - w_start[wi]
+        if finish > max_finish:
+            max_finish = finish
+        block_state = w_block[wi]
+        block_state[0] -= 1
+        if finish > block_state[1]:
+            block_state[1] = finish
+        if block_state[0] == 0:
+            home = block_state[2]
+            if queues[home]:
+                start_block(home, queues[home].popleft(), block_state[1])
+
+    for sm in range(num_sms):
+        for _ in range(resident_slots):
+            if queues[sm]:
+                start_block(sm, queues[sm].popleft(), 0.0)
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    load = hierarchy.load
+    load_local = hierarchy.load_local
+    store = hierarchy.store
+    pf_l1 = hierarchy.prefetch_into_l1
+    pf_l2 = hierarchy.prefetch_pin_l2
+    # Inlined warm-hit fast path for streaming addresses (offsets /
+    # indices / output): once a line is in the per-SM seen set, a load
+    # is a pure L1 hit — the accounting is accumulated locally and
+    # flushed to the hierarchy after the loop (identical final stats).
+    stream_lo, stream_hi = hierarchy.streaming_range
+    stream_seen = hierarchy._stream_seen
+    lat_l1 = hierarchy.gpu.lat_l1
+    line_shift = CACHE_LINE_BYTES.bit_length() - 1
+    stream_hits = [0] * num_sms
+
+    while heap:
+        t, _, wi, pc = heappop(heap)
+        smsp = w_smsp[wi]
+        nf = smsp_next_free[smsp]
+        if nf > t:
+            stall_ns += nf - t
+            t_can = nf
+        else:
+            t_can = t
+
+        end = starts[wi + 1]
+        kind, a_v, b_v, tag_v = ops[pc]
+        pc += 1
+        if kind == OP_ALU:
+            # runtime burst coalescing (same rule as the compiler's
+            # ALU fusion, so fused and unfused traces agree)
+            while pc < end:
+                op = ops[pc]
+                if op[0] != OP_ALU or op_dep[pc] >= 0:
+                    break
+                a_v += op[1]
+                pc += 1
+            avail = t_can + a_v
+        elif kind == OP_LD_GLOBAL:
+            sm = w_sm[wi]
+            if (
+                stream_lo <= a_v < stream_hi
+                and (a_v >> line_shift) in stream_seen[sm]
+            ):
+                stream_hits[sm] += b_v
+                w_pending[wi][tag_v] = t_can + lat_l1
+            else:
+                w_pending[wi][tag_v] = load(sm, a_v, b_v, t_can)
+            avail = t_can + 1
+        elif kind == OP_LD_LOCAL:
+            w_pending[wi][tag_v] = load_local(w_sm[wi], a_v, b_v, t_can)
+            avail = t_can + 1
+        elif kind == OP_LD_SHARED:
+            w_pending[wi][tag_v] = t_can + lat_shared
+            w_short[wi].add(tag_v)
+            avail = t_can + 1
+        elif kind == OP_ST_GLOBAL:
+            store(w_sm[wi], a_v, b_v, t_can)
+            avail = t_can + 1
+        elif kind == OP_ST_SHARED:
+            avail = t_can + 1
+        elif kind == OP_ST_LOCAL:
+            store(w_sm[wi], a_v, b_v, t_can, local=True)
+            avail = t_can + 1
+        elif kind == OP_PREFETCH_L1:
+            pf_l1(w_sm[wi], a_v, b_v, t_can)
+            avail = t_can + 1
+        elif kind == OP_PREFETCH_L2:
+            pf_l2(a_v, b_v, t_can)
+            avail = t_can + 1
+        else:
+            raise ValueError(f"unknown micro-op kind {kind}")
+        smsp_next_free[smsp] = avail
+
+        if pc == end:
+            _retire(wi, avail)
+            continue
+
+        # one-step scoreboard scheduling for the next op
+        dep = op_dep[pc]
+        if dep >= 0:
+            pending = w_pending[wi]
+            dep_ready = pending.get(dep) if pending else None
+            if dep_ready is not None:
+                del pending[dep]
+                if dep_ready > avail:
+                    short_tags = w_short[wi]
+                    if dep in short_tags:
+                        stall_short += dep_ready - avail
+                        short_tags.discard(dep)
+                    else:
+                        stall_long += dep_ready - avail
+                    seq += 1
+                    heappush(heap, (dep_ready, seq, wi, pc))
+                    continue
+                w_short[wi].discard(dep)
+        seq += 1
+        heappush(heap, (avail, seq, wi, pc))
+
+    for sm in range(num_sms):
+        if stream_hits[sm]:
+            hierarchy.l1s[sm].hit_sectors += stream_hits[sm]
+
+    if n_warps_run != n_warps:
+        raise RuntimeError(
+            "block scheduler lost warps: "
+            f"ran {n_warps_run} of {n_warps}"
+        )
+
+    return RawKernelStats(
+        name=name,
+        makespan_cycles=max_finish,
+        n_warps=n_warps,
+        warps_per_sm=warps_per_sm,
+        n_smsp=n_smsp,
+        issued_insts=counts["issued"],
+        alu_insts=counts["alu"],
+        ld_global_insts=counts["ld_global"],
+        ld_local_insts=counts["ld_local"],
+        ld_shared_insts=counts["ld_shared"],
+        st_insts=counts["st"],
+        prefetch_insts=counts["prefetch"],
+        warp_resident_cycles=warp_resident,
+        stall_long_scoreboard=stall_long,
+        stall_short_scoreboard=stall_short,
+        stall_not_selected=stall_ns,
+    )
+
+
+# ----------------------------------------------------------------------
+# reference path: drive generator programs directly
+# ----------------------------------------------------------------------
+def _run_reference(
+    gpu: GpuSpec,
+    hierarchy: MemoryHierarchy,
+    programs: list[WarpProgram],
+    *,
+    warps_per_sm: int,
+    warps_per_block: int,
+    name: str,
+) -> RawKernelStats:
     num_sms = gpu.num_sms
     smsps_per_sm = gpu.smsps_per_sm
     n_smsp = num_sms * smsps_per_sm
@@ -180,92 +490,84 @@ def run_kernel(
     while heap:
         t, _, w = heappop(heap)
         op = w.op
-        dep = op[4]
         smsp = w.smsp
         nf = smsp_next_free[smsp]
         t_can = nf if nf > t else t
-        if dep is not None:
-            dep_ready = w.pending.get(dep)
-            if dep_ready is not None:
-                if dep_ready > t_can:
-                    if dep in w.short_tags:
-                        stall_short += dep_ready - t_can
-                    else:
-                        stall_long += dep_ready - t_can
-                    seq += 1
-                    heappush(heap, (dep_ready, seq, w))
-                    continue
-                del w.pending[dep]
-                w.short_tags.discard(dep)
         if t_can > t:
             stall_ns += t_can - t
 
         kind = op[0]
         if kind == OP_ALU:
             n = op[1]
+            # runtime burst coalescing: a dependency-free ALU op directly
+            # following an ALU op joins the same burst (the warp holds
+            # its issue port across the chain) — the same rule the trace
+            # compiler applies at compile time
+            nxt = next(w.gen, None)
+            while nxt is not None and nxt[0] == OP_ALU and nxt[4] is None:
+                n += nxt[1]
+                nxt = next(w.gen, None)
             smsp_next_free[smsp] = t_can + n
             smsp_issued[smsp] += n
             n_alu += n
             w.avail = t_can + n
-        elif kind == OP_LD_GLOBAL:
-            w.pending[op[3]] = load(w.sm, op[1], op[2], t_can)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_ldg += 1
-            w.avail = t_can + 1
-        elif kind == OP_LD_LOCAL:
-            w.pending[op[3]] = load(w.sm, op[1], op[2], t_can, local=True)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_ldl += 1
-            w.avail = t_can + 1
-        elif kind == OP_LD_SHARED:
-            tag = op[3]
-            w.pending[tag] = t_can + lat_shared
-            w.short_tags.add(tag)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_lds += 1
-            w.avail = t_can + 1
-        elif kind == OP_ST_GLOBAL:
-            store(w.sm, op[1], op[2], t_can)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_st += 1
-            w.avail = t_can + 1
-        elif kind == OP_ST_SHARED:
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_st += 1
-            w.avail = t_can + 1
-        elif kind == OP_ST_LOCAL:
-            store(w.sm, op[1], op[2], t_can, local=True)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_st += 1
-            w.avail = t_can + 1
-        elif kind == OP_PREFETCH_L1:
-            pf_l1(w.sm, op[1], op[2], t_can)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_pf += 1
-            w.avail = t_can + 1
-        elif kind == OP_PREFETCH_L2:
-            pf_l2(op[1], op[2], t_can)
-            smsp_next_free[smsp] = t_can + 1
-            smsp_issued[smsp] += 1
-            n_pf += 1
-            w.avail = t_can + 1
         else:
-            raise ValueError(f"unknown micro-op kind {kind}")
+            if kind == OP_LD_GLOBAL:
+                w.pending[op[3]] = load(w.sm, op[1], op[2], t_can)
+                n_ldg += 1
+            elif kind == OP_LD_LOCAL:
+                w.pending[op[3]] = load(w.sm, op[1], op[2], t_can, local=True)
+                n_ldl += 1
+            elif kind == OP_LD_SHARED:
+                tag = op[3]
+                w.pending[tag] = t_can + lat_shared
+                w.short_tags.add(tag)
+                n_lds += 1
+            elif kind == OP_ST_GLOBAL:
+                store(w.sm, op[1], op[2], t_can)
+                n_st += 1
+            elif kind == OP_ST_SHARED:
+                n_st += 1
+            elif kind == OP_ST_LOCAL:
+                store(w.sm, op[1], op[2], t_can, local=True)
+                n_st += 1
+            elif kind == OP_PREFETCH_L1:
+                pf_l1(w.sm, op[1], op[2], t_can)
+                n_pf += 1
+            elif kind == OP_PREFETCH_L2:
+                pf_l2(op[1], op[2], t_can)
+                n_pf += 1
+            else:
+                raise ValueError(f"unknown micro-op kind {kind}")
+            smsp_next_free[smsp] = t_can + 1
+            smsp_issued[smsp] += 1
+            w.avail = t_can + 1
+            nxt = next(w.gen, None)
 
-        nxt = next(w.gen, None)
         if nxt is None:
             _retire(w, w.avail)
-        else:
-            w.op = nxt
-            seq += 1
-            heappush(heap, (w.avail, seq, w))
+            continue
+
+        # one-step scoreboard scheduling for the next op
+        avail = w.avail
+        nxt_t = avail
+        dep = nxt[4]
+        if dep is not None:
+            dep_ready = w.pending.get(dep)
+            if dep_ready is not None:
+                del w.pending[dep]
+                if dep_ready > avail:
+                    if dep in w.short_tags:
+                        stall_short += dep_ready - avail
+                        w.short_tags.discard(dep)
+                    else:
+                        stall_long += dep_ready - avail
+                    nxt_t = dep_ready
+                else:
+                    w.short_tags.discard(dep)
+        w.op = nxt
+        seq += 1
+        heappush(heap, (nxt_t, seq, w))
 
     if n_warps_run != len(programs):
         raise RuntimeError(

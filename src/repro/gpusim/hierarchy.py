@@ -138,12 +138,7 @@ class MemoryHierarchy:
         """A warp-level load; returns the cycle its data is available."""
         gpu = self.gpu
         if local:
-            self.local_read_sectors += sectors
-            if self.local_overflow:
-                # Spill working set exceeds the L1 budget: round-trip L2.
-                return self.l2_channel.read(sectors, now)
-            self.l1s[sm].hit_sectors += sectors
-            return now + gpu.lat_l1
+            return self.load_local(sm, addr, sectors, now)
         line = addr >> _LINE_SHIFT
         stream_lo, stream_hi = self.streaming_range
         if stream_lo <= addr < stream_hi:
@@ -178,6 +173,16 @@ class MemoryHierarchy:
         done = self.hbm.read(sectors, now) + extra
         inflight[line] = done
         return done
+
+    def load_local(self, sm: int, addr: int, sectors: int,
+                   now: float) -> float:
+        """A local-memory load (register spill reload, LMPF buffer)."""
+        self.local_read_sectors += sectors
+        if self.local_overflow:
+            # Spill working set exceeds the L1 budget: round-trip L2.
+            return self.l2_channel.read(sectors, now)
+        self.l1s[sm].hit_sectors += sectors
+        return now + self.gpu.lat_l1
 
     def configure_local_memory(
         self, footprint_bytes_per_sm: int, budget_bytes: int

@@ -1,0 +1,288 @@
+"""Cross-run kernel-result memoization.
+
+Figure sweeps, capacity planners and the autoscaler re-run
+near-identical kernel launches hundreds of times; the engine is
+deterministic, so a launch's result is a pure function of its inputs.
+This module caches :class:`~repro.gpusim.engine.RawKernelStats` (plus
+the hierarchy counter snapshot a profile needs) under a content hash of
+everything that feeds the simulation — compiled-trace/workload content,
+:class:`~repro.kernels.compiler.KernelBuild`,
+:class:`~repro.config.gpu.GpuSpec` fields and scheme knobs.
+
+Two storage tiers:
+
+* an **in-process LRU** (always on by default) serving repeated
+  launches within one process — e.g. every load point of a
+  ``fleet.capacity`` sweep, or Fig. 12/13/14 sharing their kernels,
+* an optional **on-disk store** (one JSON file per key) serving
+  repeated launches *across* processes — e.g. consecutive
+  ``repro-harness`` invocations.  Point ``REPRO_KERNEL_MEMO_DIR`` (or
+  ``repro-harness run --memo-dir``) at a directory to enable it; delete
+  the directory to invalidate.
+
+Keys embed :data:`MEMO_SCHEMA_VERSION`; bump it whenever engine
+scheduling semantics *or kernel lowering* change behaviour so stale
+entries can never resurface.  (Calibration constants and the address
+layout are hashed into the keys by ``run_table_kernel``, so plain
+constant tweaks self-invalidate without a version bump.)
+``REPRO_KERNEL_MEMO=off`` disables memoization entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, fields, is_dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.gpusim.engine import RawKernelStats
+from repro.gpusim.profiler import HierarchyStats
+
+#: Bump on any behavioural change to engine scheduling semantics, stat
+#: definitions, or kernel lowering (trace builders / program emitters).
+#: v2 = ALU-burst coalescing + one-step scoreboard scheduling.
+MEMO_SCHEMA_VERSION = 2
+
+MEMO_ENV = "REPRO_KERNEL_MEMO"
+MEMO_DIR_ENV = "REPRO_KERNEL_MEMO_DIR"
+MEMO_CAPACITY_ENV = "REPRO_KERNEL_MEMO_CAP"
+
+_DEFAULT_CAPACITY = 512
+
+
+# ----------------------------------------------------------------------
+# content hashing
+# ----------------------------------------------------------------------
+def _feed(h, value: Any) -> None:
+    """Feed one value into the hash, canonically and type-tagged."""
+    if value is None:
+        h.update(b"N;")
+    elif isinstance(value, bool):
+        h.update(b"B1;" if value else b"B0;")
+    elif isinstance(value, int):
+        h.update(b"I" + str(value).encode() + b";")
+    elif isinstance(value, float):
+        h.update(b"F" + value.hex().encode() + b";")
+    elif isinstance(value, str):
+        h.update(b"S" + value.encode() + b";")
+    elif isinstance(value, bytes):
+        h.update(b"Y" + value + b";")
+    elif isinstance(value, np.ndarray):
+        h.update(b"A" + str(value.dtype).encode() + b"|"
+                 + str(value.shape).encode() + b"|")
+        h.update(np.ascontiguousarray(value).tobytes())
+        h.update(b";")
+    elif is_dataclass(value) and not isinstance(value, type):
+        h.update(b"D" + type(value).__name__.encode() + b"(")
+        for f in fields(value):
+            _feed(h, f.name)
+            _feed(h, getattr(value, f.name))
+        h.update(b");")
+    elif isinstance(value, dict):
+        h.update(b"M(")
+        for k in sorted(value):
+            _feed(h, k)
+            _feed(h, value[k])
+        h.update(b");")
+    elif isinstance(value, (list, tuple)):
+        h.update(b"L(")
+        for item in value:
+            _feed(h, item)
+        h.update(b");")
+    elif isinstance(value, (np.integer,)):
+        _feed(h, int(value))
+    elif isinstance(value, (np.floating,)):
+        _feed(h, float(value))
+    else:
+        raise TypeError(f"cannot hash {type(value).__name__} into a memo key")
+
+
+def memo_key(*parts: Any) -> str:
+    """Stable sha256 content hash over heterogeneous key parts.
+
+    Accepts None, bools, ints, floats, strings, bytes, numpy arrays,
+    dataclasses and (nested) dict/list/tuple containers.  The hash is
+    stable across processes and platforms (floats hash by their exact
+    bit pattern) and every part is type-tagged, so reordered or
+    retyped inputs never collide.
+    """
+    h = hashlib.sha256()
+    _feed(h, MEMO_SCHEMA_VERSION)
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# memoized value
+# ----------------------------------------------------------------------
+class MemoizedKernelRun:
+    """One kernel launch's complete, profile-ready result."""
+
+    __slots__ = ("stats", "hierarchy", "pinned_lines", "pin_coverage",
+                 "pin_kernel_us")
+
+    def __init__(
+        self,
+        stats: RawKernelStats,
+        hierarchy: HierarchyStats,
+        *,
+        pinned_lines: int = 0,
+        pin_coverage: float = 0.0,
+        pin_kernel_us: float = 0.0,
+    ) -> None:
+        self.stats = stats
+        self.hierarchy = hierarchy
+        self.pinned_lines = pinned_lines
+        self.pin_coverage = pin_coverage
+        self.pin_kernel_us = pin_kernel_us
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": MEMO_SCHEMA_VERSION,
+            "stats": asdict(self.stats),
+            "hierarchy": asdict(self.hierarchy),
+            "pinned_lines": self.pinned_lines,
+            "pin_coverage": self.pin_coverage,
+            "pin_kernel_us": self.pin_kernel_us,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "MemoizedKernelRun":
+        data = json.loads(text)
+        if data.get("version") != MEMO_SCHEMA_VERSION:
+            raise ValueError("memo schema version mismatch")
+        return cls(
+            RawKernelStats(**data["stats"]),
+            HierarchyStats(**data["hierarchy"]),
+            pinned_lines=data["pinned_lines"],
+            pin_coverage=data["pin_coverage"],
+            pin_kernel_us=data["pin_kernel_us"],
+        )
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class KernelMemo:
+    """In-process LRU over kernel results, with an optional disk tier.
+
+    ``capacity`` bounds the in-memory tier (0 disables memoization in
+    memory; with no ``disk_dir`` that makes the memo a no-op).  Disk
+    entries are one JSON file per key, written atomically; unreadable
+    or version-skewed files count as misses and are ignored.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY,
+                 disk_dir: str | Path | None = None) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._lru: OrderedDict[str, MemoizedKernelRun] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0 or self.disk_dir is not None
+
+    def _disk_path(self, key: str) -> Path:
+        return self.disk_dir / f"{key}.json"  # type: ignore[operator]
+
+    def get(self, key: str) -> MemoizedKernelRun | None:
+        lru = self._lru
+        run = lru.get(key)
+        if run is not None:
+            lru.move_to_end(key)
+            self.hits += 1
+            return run
+        if self.disk_dir is not None:
+            try:
+                run = MemoizedKernelRun.from_json(
+                    self._disk_path(key).read_text()
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                run = None
+            if run is not None:
+                self.disk_hits += 1
+                self.hits += 1
+                self._remember(key, run)
+                return run
+        self.misses += 1
+        return None
+
+    def put(self, key: str, run: MemoizedKernelRun) -> None:
+        self._remember(key, run)
+        if self.disk_dir is not None:
+            try:
+                self.disk_dir.mkdir(parents=True, exist_ok=True)
+                path = self._disk_path(key)
+                # per-writer temp name: concurrent processes sharing the
+                # store must never interleave writes to one temp file
+                tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+                tmp.write_text(run.to_json())
+                os.replace(tmp, path)
+            except OSError:
+                pass  # disk tier is best-effort
+
+    def _remember(self, key: str, run: MemoizedKernelRun) -> None:
+        if self.capacity <= 0:
+            return
+        lru = self._lru
+        if key in lru:
+            lru.move_to_end(key)
+        lru[key] = run
+        if len(lru) > self.capacity:
+            lru.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk entries are left alone)."""
+        self._lru.clear()
+
+    def stats_line(self) -> str:
+        total = self.hits + self.misses
+        return (
+            f"kernel memo: {self.hits}/{total} hits "
+            f"({self.disk_hits} from disk), {len(self._lru)} resident"
+        )
+
+
+#: Process-wide default memo, configured from the environment on first use.
+_DEFAULT_MEMO: KernelMemo | None = None
+
+
+def default_memo() -> KernelMemo:
+    """The process-wide memo: in-process LRU by default, disk-backed
+    when ``REPRO_KERNEL_MEMO_DIR`` is set, disabled entirely when
+    ``REPRO_KERNEL_MEMO=off``."""
+    global _DEFAULT_MEMO
+    if _DEFAULT_MEMO is None:
+        if os.environ.get(MEMO_ENV, "").strip().lower() in ("off", "0", "no"):
+            _DEFAULT_MEMO = KernelMemo(capacity=0)
+        else:
+            capacity = int(
+                os.environ.get(MEMO_CAPACITY_ENV, str(_DEFAULT_CAPACITY))
+            )
+            _DEFAULT_MEMO = KernelMemo(
+                capacity=capacity,
+                disk_dir=os.environ.get(MEMO_DIR_ENV) or None,
+            )
+    return _DEFAULT_MEMO
+
+
+def set_default_memo(memo: KernelMemo | None) -> None:
+    """Replace the process-wide memo (``None`` re-reads the environment
+    on next use).  Used by the CLI's ``--memo-dir`` and by tests."""
+    global _DEFAULT_MEMO
+    _DEFAULT_MEMO = memo

@@ -19,6 +19,62 @@ from repro.gpusim.hierarchy import MemoryHierarchy
 
 
 @dataclass(frozen=True)
+class HierarchyStats:
+    """Flat snapshot of the memory-hierarchy counters after one run.
+
+    Everything :class:`KernelProfile` needs from a live
+    :class:`~repro.gpusim.hierarchy.MemoryHierarchy`, as plain numbers —
+    so a profile can be rebuilt from a memoized kernel run
+    (:mod:`repro.gpusim.memo`) without re-simulating.
+    """
+
+    l1_hit_sectors: int
+    l1_miss_sectors: int
+    l2_hit_sectors: int
+    l2_miss_sectors: int
+    l2_pin_hit_sectors: int
+    dram_read_bytes: int
+    dram_write_bytes: int
+    tlb_hits: int
+    tlb_misses: int
+    local_read_sectors: int
+    local_write_sectors: int
+    global_write_sectors: int
+
+    @classmethod
+    def capture(cls, hierarchy: MemoryHierarchy) -> "HierarchyStats":
+        return cls(
+            l1_hit_sectors=hierarchy.l1_hit_sectors,
+            l1_miss_sectors=hierarchy.l1_miss_sectors,
+            l2_hit_sectors=hierarchy.l2.hit_sectors,
+            l2_miss_sectors=hierarchy.l2.miss_sectors,
+            l2_pin_hit_sectors=hierarchy.l2.pin_hit_sectors,
+            dram_read_bytes=hierarchy.hbm.read_bytes,
+            dram_write_bytes=hierarchy.hbm.write_bytes,
+            tlb_hits=sum(t.hits for t in hierarchy.tlbs),
+            tlb_misses=sum(t.misses for t in hierarchy.tlbs),
+            local_read_sectors=hierarchy.local_read_sectors,
+            local_write_sectors=hierarchy.local_write_sectors,
+            global_write_sectors=hierarchy.global_write_sectors,
+        )
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hit_sectors + self.l1_miss_sectors
+        return self.l1_hit_sectors / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_hit_sectors + self.l2_miss_sectors
+        return self.l2_hit_sectors / total if total else 0.0
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_misses / total if total else 0.0
+
+
+@dataclass(frozen=True)
 class KernelProfile:
     """One kernel's worth of NCU-like metrics (paper table rows)."""
 
@@ -58,6 +114,22 @@ class KernelProfile:
         ``full_hbm_gbps`` the unsliced chip's peak bandwidth, used to
         report full-chip-equivalent average bandwidth.
         """
+        return cls.from_stats(
+            gpu, stats, HierarchyStats.capture(hierarchy),
+            chip_factor=chip_factor, full_hbm_gbps=full_hbm_gbps,
+        )
+
+    @classmethod
+    def from_stats(
+        cls,
+        gpu: GpuSpec,
+        stats: RawKernelStats,
+        hstats: HierarchyStats,
+        *,
+        chip_factor: float = 1.0,
+        full_hbm_gbps: float | None = None,
+    ) -> "KernelProfile":
+        """Build a profile from raw counters alone (live run or memo)."""
         if not 0 < chip_factor <= 1.0:
             raise ValueError("chip_factor must be in (0, 1]")
         makespan = stats.makespan_cycles
@@ -66,7 +138,10 @@ class KernelProfile:
         issue_util = (
             issued / (stats.n_smsp * makespan) if makespan > 0 else 0.0
         )
-        util = hierarchy.hbm.utilization(makespan)
+        util = (
+            hstats.dram_read_bytes / makespan / gpu.hbm_bytes_per_cycle
+            if makespan > 0 else 0.0
+        )
         peak_gbps = full_hbm_gbps or gpu.hbm_bandwidth_gbps
         return cls(
             name=stats.name,
@@ -86,13 +161,13 @@ class KernelProfile:
                 stats.stall_not_selected / issued if issued else 0.0
             ),
             issued_per_scheduler=issue_util,
-            l1_hit_pct=100.0 * hierarchy.l1_hit_rate,
-            l2_hit_pct=100.0 * hierarchy.l2_hit_rate,
-            dram_read_mb=hierarchy.dram_read_bytes / chip_factor / 1e6,
+            l1_hit_pct=100.0 * hstats.l1_hit_rate,
+            l2_hit_pct=100.0 * hstats.l2_hit_rate,
+            dram_read_mb=hstats.dram_read_bytes / chip_factor / 1e6,
             avg_hbm_bw_gbps=util * peak_gbps,
             hbm_bw_util_pct=100.0 * util,
             local_loads_m=stats.ld_local_insts / chip_factor / 1e6,
-            tlb_miss_pct=100.0 * hierarchy.tlb_miss_rate,
+            tlb_miss_pct=100.0 * hstats.tlb_miss_rate,
             occupancy_warps=stats.warps_per_sm,
             issued_insts=issued,
             makespan_cycles=makespan,

@@ -3,7 +3,7 @@
 Usage::
 
     repro-harness list
-    repro-harness run fig12 [--sms 6] [--seed 0]
+    repro-harness run fig12 [--sms 6] [--seed 0] [--memo-dir PATH]
     repro-harness run all
 """
 
@@ -13,6 +13,7 @@ import argparse
 import sys
 import time
 
+from repro.gpusim.memo import KernelMemo, set_default_memo
 from repro.harness.context import ExperimentContext, HarnessConfig
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.runner import list_experiments, run_experiment
@@ -36,6 +37,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated GPU slice size in SMs (default 6)",
     )
     run.add_argument("--seed", type=int, default=0, help="trace seed")
+    run.add_argument(
+        "--memo-dir", default=None, metavar="PATH",
+        help=(
+            "directory for the on-disk kernel memo; repeated runs with "
+            "the same config replay cached kernel timings instead of "
+            "re-simulating (delete the directory to invalidate)"
+        ),
+    )
     return parser
 
 
@@ -46,7 +55,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{exp_id:8s} {desc}")
         return 0
 
-    ctx = ExperimentContext(HarnessConfig(num_sms=args.sms, seed=args.seed))
+    memo = KernelMemo(disk_dir=args.memo_dir) if args.memo_dir else None
+    if memo is not None:
+        # also make it the process default so library code that never
+        # sees the context (fleet calibration, examples) shares the disk
+        # tier within this invocation
+        set_default_memo(memo)
+    ctx = ExperimentContext(
+        HarnessConfig(num_sms=args.sms, seed=args.seed), memo=memo
+    )
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:
         start = time.perf_counter()
@@ -55,6 +72,7 @@ def main(argv: list[str] | None = None) -> int:
         print(table.render())
         print(f"({exp_id} regenerated in {elapsed:.1f}s)")
         print()
+    print(f"({ctx.memo.stats_line()})")
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.core.embedding import (
 from repro.core.schemes import Scheme
 from repro.datasets.spec import HOTNESS_PRESETS
 from repro.dlrm.timing import KERNEL_LAUNCH_US, non_embedding_time
+from repro.gpusim.memo import KernelMemo, default_memo
 
 
 @dataclass(frozen=True)
@@ -39,10 +40,20 @@ class HarnessConfig:
 
 
 class ExperimentContext:
-    """Memoized access to kernel simulations and derived pipeline numbers."""
+    """Memoized access to kernel simulations and derived pipeline numbers.
 
-    def __init__(self, config: HarnessConfig | None = None) -> None:
+    Two cache tiers: ``_kernels`` holds full
+    :class:`~repro.core.embedding.TableKernelResult` objects by harness
+    configuration (cheap, exact, this-process only), while ``memo`` —
+    the content-addressed kernel memo, disk-backed when configured —
+    deduplicates the underlying engine runs across configurations,
+    contexts and harness invocations.
+    """
+
+    def __init__(self, config: HarnessConfig | None = None,
+                 memo: KernelMemo | None = None) -> None:
         self.config = config or HarnessConfig()
+        self.memo = memo if memo is not None else default_memo()
         self._kernels: dict[tuple, TableKernelResult] = {}
         self._workloads: dict[tuple, KernelWorkload] = {}
 
@@ -85,6 +96,7 @@ class ExperimentContext:
                 HOTNESS_PRESETS[dataset],
                 scheme,
                 seed=self.config.seed,
+                memo=self.memo,
             )
         return self._kernels[key]
 

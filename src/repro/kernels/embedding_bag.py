@@ -12,13 +12,19 @@ Per gather-reduce iteration a warp:
 
 plus register-spill round-trips to local memory when the compiler was
 forced below the kernel's register demand.
+
+Each kernel variant has two interchangeable emitters: the generator
+*programs* (the readable reference the engine's slow path consumes) and
+a structured *trace builder* that lowers the same op stream straight
+into a :class:`~repro.gpusim.trace.CompiledTrace` for the engine's fast
+path — no generators, no per-op tuples, consecutive ALU ops fused at
+compile time.  ``tests/gpusim/test_trace_compile.py`` pins the two
+emitters to each other.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterator
-
-import numpy as np
 
 from repro.config.gpu import CACHE_LINE_BYTES
 from repro.datasets.trace import EmbeddingTrace
@@ -29,6 +35,7 @@ from repro.gpusim.isa import (
     OP_ST_GLOBAL,
     OP_ST_LOCAL,
 )
+from repro.gpusim.trace import CompiledTrace, TraceBuilder
 from repro.kernels import calibration as cal
 from repro.kernels.address_map import AddressMap
 from repro.kernels.compiler import KernelBuild
@@ -58,16 +65,23 @@ def iter_warp_work(
     trace: EmbeddingTrace, row_bytes: int
 ) -> Iterator[tuple[int, int, int, list[int]]]:
     """Yield ``(sample, col_byte_offset, flat_begin, rows)`` per warp, in
-    launch order (all warps of sample 0, then sample 1, ...)."""
-    n_chunks = warps_per_sample(row_bytes)
-    offsets = trace.offsets
+    launch order (all warps of sample 0, then sample 1, ...).
+
+    The offsets array is converted to plain ints once and each sample's
+    row list is materialized exactly once — the chunk loop re-yields the
+    same list object for every warp of the sample.
+    """
+    col_offs = tuple(
+        chunk * CACHE_LINE_BYTES
+        for chunk in range(warps_per_sample(row_bytes))
+    )
+    bounds = trace.offsets.tolist()
     indices = trace.indices
     for sample in range(trace.batch_size):
-        begin = int(offsets[sample])
-        end = int(offsets[sample + 1])
-        rows = indices[begin:end].tolist()
-        for chunk in range(n_chunks):
-            yield sample, chunk * CACHE_LINE_BYTES, begin, rows
+        begin = bounds[sample]
+        rows = indices[begin:bounds[sample + 1]].tolist()
+        for col_off in col_offs:
+            yield sample, col_off, begin, rows
 
 
 def spill_state(build: KernelBuild) -> tuple[float, int]:
@@ -139,6 +153,114 @@ def build_base_programs(
         )
         uid += 1
     return programs
+
+
+# Per-gather-iteration column patterns for the structured trace builder
+# (index load -> address ALU -> row load -> accumulate ALU).
+_ROW_KINDS = (OP_LD_GLOBAL, OP_ALU, OP_LD_GLOBAL, OP_ALU)
+_ROW_B = (1, 0, 4, 0)
+_ROW_TAG = (TAG_IDX, -1, TAG_ROW, -1)
+_ROW_DEP = (-1, TAG_IDX, -1, TAG_ROW)
+
+
+def build_base_trace(
+    trace: EmbeddingTrace,
+    build: KernelBuild,
+    amap: AddressMap,
+    *,
+    warp_uid_base: int = 0,
+) -> CompiledTrace:
+    """Compiled trace for a baseline (or OptMT) kernel launch.
+
+    Emits exactly the op stream of :func:`build_base_programs`, lowered
+    straight into flat columns: per gather iteration one 4-op pattern is
+    extended onto the columns, and the epilogue ALU fuses into the
+    trailing accumulate (or spill-consume) ALU burst.
+    """
+    spill_pairs, spill_lines = spill_state(build)
+    row_bytes = amap.row_bytes
+    addr_alu = cal.ADDR_CALC_ALU
+    accum_alu = cal.ACCUM_ALU
+    prologue_alu = cal.PROLOGUE_ALU
+    epilogue_alu = cal.EPILOGUE_ALU
+    spill_consume_alu = cal.SPILL_CONSUME_ALU
+    local_line = AddressMap.local_line
+    row_base = amap.row_addr(0)
+
+    builder = TraceBuilder()
+    kind_col = builder.kind
+    a_col = builder.a
+    b_col = builder.b
+    tag_col = builder.tag
+    dep_col = builder.dep
+    end_warp = builder.end_warp
+
+    uid = warp_uid_base
+    for sample, col_off, begin, rows in iter_warp_work(trace, row_bytes):
+        kind_col.append(OP_LD_GLOBAL)
+        a_col.append(amap.offsets_addr(sample))
+        b_col.append(1)
+        tag_col.append(TAG_OFF)
+        dep_col.append(-1)
+        kind_col.append(OP_ALU)
+        a_col.append(prologue_alu)
+        b_col.append(0)
+        tag_col.append(-1)
+        dep_col.append(TAG_OFF)
+        idx_addr = amap.index_addr(begin)
+        chunk_base = row_base + col_off
+        if spill_pairs == 0.0:
+            for row in rows:
+                kind_col.extend(_ROW_KINDS)
+                a_col.extend((
+                    idx_addr, addr_alu,
+                    chunk_base + row * row_bytes, accum_alu,
+                ))
+                b_col.extend(_ROW_B)
+                tag_col.extend(_ROW_TAG)
+                dep_col.extend(_ROW_DEP)
+                idx_addr += 8
+        else:
+            spill_acc = 0.0
+            spill_slot = 0
+            for row in rows:
+                kind_col.extend(_ROW_KINDS)
+                a_col.extend((
+                    idx_addr, addr_alu,
+                    chunk_base + row * row_bytes, accum_alu,
+                ))
+                b_col.extend(_ROW_B)
+                tag_col.extend(_ROW_TAG)
+                dep_col.extend(_ROW_DEP)
+                idx_addr += 8
+                spill_acc += spill_pairs
+                while spill_acc >= 1.0:
+                    spill_acc -= 1.0
+                    addr = local_line(uid, spill_slot % spill_lines)
+                    spill_slot += 1
+                    kind_col.extend(_SPILL_KINDS)
+                    a_col.extend((addr, addr, spill_consume_alu))
+                    b_col.extend(_SPILL_B)
+                    tag_col.extend(_SPILL_TAG)
+                    dep_col.extend(_SPILL_DEP)
+        # epilogue ALU is dependency-free and always follows an ALU
+        # (prologue, accumulate, or spill-consume): fuse it
+        a_col[-1] += epilogue_alu
+        kind_col.append(OP_ST_GLOBAL)
+        a_col.append(amap.output_addr(sample, col_off))
+        b_col.append(4)
+        tag_col.append(-1)
+        dep_col.append(-1)
+        end_warp()
+        uid += 1
+    return builder.build()
+
+
+# spill round-trip column pattern: st.local -> ld.local -> consume ALU
+_SPILL_KINDS = (OP_ST_LOCAL, OP_LD_LOCAL, OP_ALU)
+_SPILL_B = (4, 4, 0)
+_SPILL_TAG = (-1, TAG_SPILL, -1)
+_SPILL_DEP = (-1, -1, TAG_SPILL)
 
 
 def expected_global_loads(trace: EmbeddingTrace, row_bytes: int) -> int:

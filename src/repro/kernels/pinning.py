@@ -28,6 +28,7 @@ from repro.datasets.trace import EmbeddingTrace
 from repro.gpusim.engine import RawKernelStats, run_kernel
 from repro.gpusim.hierarchy import MemoryHierarchy
 from repro.gpusim.isa import OP_ALU, OP_PREFETCH_L2
+from repro.gpusim.trace import CompiledTrace, TraceBuilder
 from repro.kernels.address_map import AddressMap
 
 _LINE_SHIFT = CACHE_LINE_BYTES.bit_length() - 1
@@ -110,6 +111,23 @@ def build_pin_kernel_programs(
     return [make_program(w) for w in range(n_warps)]
 
 
+def build_pin_kernel_trace(
+    rows: np.ndarray, amap: AddressMap, gpu: GpuSpec
+) -> CompiledTrace:
+    """Compiled trace of the pin kernel (fast-path twin of
+    :func:`build_pin_kernel_programs`)."""
+    lines = hot_row_lines(rows, amap)
+    n_warps = max(1, gpu.num_sms * gpu.warps_per_block)
+    builder = TraceBuilder()
+    emit = builder.append
+    for start in range(n_warps):
+        for line in lines[start::n_warps]:
+            emit(OP_PREFETCH_L2, line << _LINE_SHIFT, 4)
+            emit(OP_ALU, _PIN_LOOP_ALU)
+        builder.end_warp()
+    return builder.build()
+
+
 def simulate_pin_kernel(
     gpu: GpuSpec,
     hierarchy: MemoryHierarchy,
@@ -117,7 +135,7 @@ def simulate_pin_kernel(
     amap: AddressMap,
 ) -> RawKernelStats:
     """Run the pin kernel through the engine (for overhead reporting)."""
-    programs = build_pin_kernel_programs(rows, amap, gpu)
+    programs = build_pin_kernel_trace(rows, amap, gpu)
     return run_kernel(
         gpu,
         hierarchy,

@@ -34,6 +34,7 @@ from repro.gpusim.isa import (
     OP_ST_LOCAL,
     OP_ST_SHARED,
 )
+from repro.gpusim.trace import CompiledTrace, TraceBuilder
 from repro.kernels import calibration as cal
 from repro.kernels.address_map import AddressMap
 from repro.kernels.compiler import KernelBuild
@@ -46,6 +47,10 @@ from repro.kernels.embedding_bag import (
     TAG_SMEM,
     TAG_SPILL,
     WarpProgram,
+    _SPILL_B,
+    _SPILL_DEP,
+    _SPILL_KINDS,
+    _SPILL_TAG,
     iter_warp_work,
     spill_state,
 )
@@ -148,6 +153,180 @@ def _make_prefetch_program(
                None, None)
 
     return gen
+
+
+def _emit_prefetch_warp(
+    builder: TraceBuilder,
+    kind: str,
+    amap: AddressMap,
+    sample: int,
+    col_off: int,
+    flat_begin: int,
+    rows: list[int],
+    warp_uid: int,
+    distance: int,
+    spill_pairs: float,
+    spill_lines: int,
+) -> None:
+    """Lower one prefetching warp straight into the trace builder.
+
+    Op-for-op the stream of :func:`_make_prefetch_program`; the builder
+    fuses the dependency-free trigger/epilogue ALU ops into the
+    preceding consume burst as they are appended.
+    """
+    addr_alu = cal.ADDR_CALC_ALU
+    consume_alu = cal.ACCUM_ALU + cal.PF_CONSUME_EXTRA_ALU[kind]
+    trigger_alu = cal.PF_TRIGGER_ALU
+    idx_base = amap.index_addr(flat_begin)
+    row_base = amap.row_addr(0) + col_off
+    row_bytes = amap.row_bytes
+    local_line = AddressMap.local_line
+
+    # Direct column appends (the emit-per-op path is too slow for the
+    # hot builders); the only fusion opportunities in this stream are
+    # the dependency-free trigger and epilogue ALU ops, which always
+    # follow an ALU burst and are folded in by hand below.
+    kind_col = builder.kind
+    a_col = builder.a
+    b_col = builder.b
+    tag_col = builder.tag
+    dep_col = builder.dep
+
+    def alu(cycles: int, dep: int) -> None:
+        kind_col.append(OP_ALU)
+        a_col.append(cycles)
+        b_col.append(0)
+        tag_col.append(-1)
+        dep_col.append(dep)
+
+    kind_col.append(OP_LD_GLOBAL)
+    a_col.append(amap.offsets_addr(sample))
+    b_col.append(1)
+    tag_col.append(TAG_OFF)
+    dep_col.append(-1)
+    alu(cal.PROLOGUE_ALU, TAG_OFF)
+    n = len(rows)
+    spill_acc = 0.0
+    spill_slot = 0
+    i = 0
+    while i < n:
+        batch = distance if i + distance <= n else n - i
+        a_col[-1] += trigger_alu  # fused: previous op is always an ALU
+        # --- prefetch burst: gather loads issued back-to-back ------
+        if kind == "l1d":
+            kind_col.extend(_L1D_BURST_KINDS * batch)
+            a_col.extend(x for j in range(batch) for x in (
+                idx_base + 8 * (i + j), cal.L1DPF_BURST_ALU,
+                row_base + rows[i + j] * row_bytes,
+            ))
+            b_col.extend(_BURST_B * batch)
+            tag_col.extend(_BURST_TAG_FIXED * batch)
+            dep_col.extend(_BURST_DEP * batch)
+        else:
+            kind_col.extend(_BURST_KINDS * batch)
+            a_col.extend(x for j in range(batch) for x in (
+                idx_base + 8 * (i + j), addr_alu,
+                row_base + rows[i + j] * row_bytes,
+            ))
+            b_col.extend(_BURST_B * batch)
+            tag_col.extend(x for j in range(batch) for x in (
+                TAG_IDX, -1, TAG_PF_BASE + j,
+            ))
+            dep_col.extend(_BURST_DEP * batch)
+        # --- park the burst in the buffer station -------------------
+        if kind == "shared":
+            kind_col.extend((OP_ST_SHARED,) * batch)
+            a_col.extend((0,) * batch)
+            b_col.extend((0,) * batch)
+            tag_col.extend((-1,) * batch)
+            dep_col.extend(TAG_PF_BASE + j for j in range(batch))
+        elif kind == "local":
+            kind_col.extend((OP_ST_LOCAL,) * batch)
+            a_col.extend(
+                local_line(warp_uid, LMPF_SLOT_BASE + j)
+                for j in range(batch)
+            )
+            b_col.extend((4,) * batch)
+            tag_col.extend((-1,) * batch)
+            dep_col.extend(TAG_PF_BASE + j for j in range(batch))
+        # --- consume one iteration at a time ------------------------
+        for j in range(batch):
+            if kind == "register":
+                alu(consume_alu, TAG_PF_BASE + j)
+            elif kind == "shared":
+                kind_col.append(OP_LD_SHARED)
+                a_col.append(0)
+                b_col.append(0)
+                tag_col.append(TAG_SMEM)
+                dep_col.append(-1)
+                alu(consume_alu, TAG_SMEM)
+            elif kind == "local":
+                kind_col.append(OP_LD_LOCAL)
+                a_col.append(local_line(warp_uid, LMPF_SLOT_BASE + j))
+                b_col.append(4)
+                tag_col.append(TAG_LOCAL_PF)
+                dep_col.append(-1)
+                alu(consume_alu, TAG_LOCAL_PF)
+            else:  # l1d: the demand loop runs in full, hitting L1
+                kind_col.extend(_BURST_KINDS)
+                a_col.extend((
+                    idx_base + 8 * (i + j), addr_alu,
+                    row_base + rows[i + j] * row_bytes,
+                ))
+                b_col.extend(_BURST_B)
+                tag_col.extend((TAG_IDX, -1, TAG_PF_BASE))
+                dep_col.extend(_BURST_DEP)
+                alu(consume_alu, TAG_PF_BASE)
+            spill_acc += spill_pairs
+            while spill_acc >= 1.0:
+                spill_acc -= 1.0
+                addr = local_line(warp_uid, spill_slot % spill_lines)
+                spill_slot += 1
+                kind_col.extend(_SPILL_KINDS)
+                a_col.extend((addr, addr, cal.SPILL_CONSUME_ALU))
+                b_col.extend(_SPILL_B)
+                tag_col.extend(_SPILL_TAG)
+                dep_col.extend(_SPILL_DEP)
+        i += batch
+    a_col[-1] += cal.EPILOGUE_ALU  # fused: previous op is always an ALU
+    kind_col.append(OP_ST_GLOBAL)
+    a_col.append(amap.output_addr(sample, col_off))
+    b_col.append(4)
+    tag_col.append(-1)
+    dep_col.append(-1)
+
+
+# Column patterns for the prefetch burst (index load -> address ALU ->
+# row load / L1 prefetch), repeated ``batch`` times per trigger.
+_BURST_KINDS = (OP_LD_GLOBAL, OP_ALU, OP_LD_GLOBAL)
+_L1D_BURST_KINDS = (OP_LD_GLOBAL, OP_ALU, OP_PREFETCH_L1)
+_BURST_B = (1, 0, 4)
+_BURST_TAG_FIXED = (TAG_IDX, -1, -1)
+_BURST_DEP = (-1, TAG_IDX, -1)
+
+
+def build_prefetch_trace(
+    trace: EmbeddingTrace,
+    build: KernelBuild,
+    amap: AddressMap,
+    *,
+    warp_uid_base: int = 0,
+) -> CompiledTrace:
+    """Compiled trace for every warp of a prefetching kernel launch."""
+    if build.prefetch is None:
+        raise ValueError("kernel build has no prefetch scheme")
+    spill_pairs, spill_lines = spill_state(build)
+    builder = TraceBuilder()
+    uid = warp_uid_base
+    for sample, col_off, begin, rows in iter_warp_work(
+            trace, amap.row_bytes):
+        _emit_prefetch_warp(
+            builder, build.prefetch, amap, sample, col_off, begin, rows,
+            uid, build.prefetch_distance, spill_pairs, spill_lines,
+        )
+        builder.end_warp()
+        uid += 1
+    return builder.build()
 
 
 def build_prefetch_programs(

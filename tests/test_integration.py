@@ -16,9 +16,12 @@ from repro.datasets.spec import HOTNESS_PRESETS
 
 @pytest.fixture(scope="module")
 def wl():
+    # batch 32 = 128 warps: fills the 2-SM slice's resident slots in
+    # whole waves, so occupancy effects (OptMT vs base) are not drowned
+    # by a ragged final wave the way they are at batch 24.
     return kernel_workload(
         scale=SimScale("integration", 2),
-        batch_size=24, pooling_factor=40, table_rows=12_000,
+        batch_size=32, pooling_factor=40, table_rows=12_000,
     )
 
 
