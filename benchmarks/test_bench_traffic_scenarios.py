@@ -1,0 +1,107 @@
+"""Traffic scenarios: p99/goodput per profile, batching and routing.
+
+Beyond the paper: serves non-stationary arrival streams against the
+calibrated latency curves and checks the two headline serving results —
+continuous batching beats the fixed size-or-timeout batcher on p99 and
+goodput under a flash crowd at a tight SLA, and queue-aware routing
+shields a heterogeneous fleet inside the burst where oblivious
+round-robin lets the slower replicas blow up.
+"""
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.core.schemes import RPF_L2P_OPTMT
+from repro.core.serving import BatchingPolicy
+from repro.harness.experiments import _fleet_latency_models, scenario_serving
+from repro.fleet import FleetSpec
+from repro.config.gpu import H100_NVL
+from repro.traffic import scenario_profile, simulate_fleet_scenario
+
+
+def _rows_by(table):
+    return {(r["batcher"], r["phase"]): r for r in table.rows}
+
+
+def test_flash_crowd_batching(regenerate):
+    """Continuous batching beats the fixed policy under the flash crowd."""
+    table = regenerate("scenario")  # default profile: flash
+    rows = _rows_by(table)
+
+    fixed_all = rows[("fixed", "all")]
+    cont_all = rows[("continuous", "all")]
+    # the acceptance pair: better tail AND more in-SLA work done
+    assert cont_all["p99_ms"] < fixed_all["p99_ms"]
+    assert cont_all["goodput_qps"] > fixed_all["goodput_qps"]
+
+    # the win concentrates inside the burst
+    fixed_spike = rows[("fixed", "spike")]
+    cont_spike = rows[("continuous", "spike")]
+    assert cont_spike["goodput_qps"] > fixed_spike["goodput_qps"]
+    assert cont_spike["sla_hit_pct"] >= fixed_spike["sla_hit_pct"]
+
+    # per-phase reporting is complete
+    for batcher in ("fixed", "continuous"):
+        for phase in ("pre", "spike", "recovery", "all"):
+            assert (batcher, phase) in rows
+
+
+def test_scenario_profiles_record_tails(ctx):
+    """Every profile completes and records per-phase p99/goodput."""
+    for profile in ("diurnal", "mmpp", "drift", "poisson"):
+        table = scenario_serving(ctx, profile=profile)
+        print()
+        print(table.render())
+        rows = _rows_by(table)
+        for (batcher, phase), row in rows.items():
+            assert row["p99_ms"] >= row["p50_ms"] >= 0.0
+            assert row["goodput_qps"] >= 0.0
+        # continuous batching never loses on the run-wide SLA hit rate
+        assert (
+            rows[("continuous", "all")]["sla_hit_pct"]
+            >= rows[("fixed", "all")]["sla_hit_pct"]
+        )
+
+
+def test_fleet_flash_routing(ctx, benchmark):
+    """Inside the burst, queue-aware routing shields a mixed fleet."""
+    scheme = RPF_L2P_OPTMT
+    models = _fleet_latency_models(ctx, scheme)
+    a100 = models[A100_SXM4_80GB.name]
+    capacity_a100 = 2048.0 / (a100(2048) / 1e3)
+    fleet = FleetSpec.mixed(
+        {A100_SXM4_80GB: 2, H100_NVL: 2}, name="2xA100+2xH100",
+        scheme=scheme,
+    )
+    # the spike exceeds the A100s' fair share but not the fleet's total
+    spec = scenario_profile(
+        "flash", base_qps=5 * 0.95 * capacity_a100 / 8.0, duration_s=4.0,
+    )
+    fixed = BatchingPolicy()
+    spike_batch = max(1, int(spec.peak_rate() / 4 * fixed.timeout_ms / 1e3))
+    sla_ms = 0.8 * (fixed.timeout_ms + a100(spike_batch))
+
+    def run_policies():
+        return {
+            policy: simulate_fleet_scenario(
+                fleet, models, spec, policy=policy, sla_ms=sla_ms, seed=0,
+            )
+            for policy in ("round-robin", "jsq", "least-latency")
+        }
+
+    reports = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    print()
+    for policy, report in reports.items():
+        spike = report.phase("spike")
+        print(f"  {policy:14s} spike p99 {spike.p99_ms:7.2f} ms, "
+              f"goodput {spike.goodput_qps:7.0f} QPS, "
+              f"hit {spike.sla_hit_pct:5.1f}%")
+
+    rr = reports["round-robin"].phase("spike")
+    jsq = reports["jsq"].phase("spike")
+    ll = reports["least-latency"].phase("spike")
+    # oblivious routing overloads the slower A100s inside the burst
+    assert jsq.p99_ms < rr.p99_ms
+    # speed-aware routing also banks the H100 headroom: best tail AND
+    # the most in-SLA work
+    assert ll.p99_ms <= jsq.p99_ms
+    assert ll.goodput_qps > rr.goodput_qps
+    assert ll.goodput_qps > jsq.goodput_qps

@@ -2,24 +2,65 @@
 
 The paper's motivation is SLA-bound inference serving ("arriving
 queries create batches, where each batch is expected to meet the SLA
-target", Section III-A).  This module closes that loop: a Poisson
-arrival process, a size-or-timeout batching policy, and a single-GPU
-executor whose batch latency comes from the simulated pipeline —
-yielding the p50/p95/p99 query latencies and the maximum sustainable
-load that serving papers (DeepRecSys et al., cited by the paper)
-evaluate.
+target", Section III-A).  This module closes that loop with a single
+discrete-event serving engine that consumes *arrival streams* — a
+stationary Poisson process, or any non-stationary scenario produced by
+:mod:`repro.traffic` (diurnal load, flash crowds, MMPP bursts,
+popularity drift) — and batches them onto one GPU whose batch latency
+comes from the simulated pipeline.
+
+Two batch-formation disciplines are supported:
+
+* :class:`BatchingPolicy` — the classic size-or-timeout batcher: a
+  batch closes when ``max_batch`` queries wait or the oldest has waited
+  ``timeout_ms``.  Easy to reason about under stationary load, but it
+  taxes light traffic with the full timeout and keeps serving oversized
+  batches deep into an overload.
+* :class:`ContinuousBatching` — continuous (in-flight) batch formation:
+  a new batch forms at dispatch time out of everything that has arrived
+  by then, so the GPU never idles while work waits and light load
+  degenerates to single-query batches with zero batching delay.  With
+  ``sla_ms`` set, the batch size additionally adapts to SLA pressure
+  (see the class docstring).
 
 The executor's batch-latency function is pluggable; by default it
 interpolates between measured batch sizes so one expensive simulation
-sweep serves many load points.
+sweep serves many load points.  Per-phase latency models (one curve per
+scenario phase, e.g. under popularity drift) are accepted wherever a
+single curve is.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
+
+#: A batch-latency curve: batch size -> milliseconds.
+LatencyModel = Callable[[int], float]
+
+_PERCENTILE_FIELDS = {"p50": "p50_ms", "p95": "p95_ms", "p99": "p99_ms"}
+
+
+def resolve_percentile_field(percentile: str) -> str:
+    """Map a percentile name (``"p99"``) to its report field name.
+
+    Raises ``ValueError`` for anything but the percentiles the reports
+    actually carry — an unknown name must not silently pass an SLA
+    check (or die with an obscure ``AttributeError``).
+    """
+    try:
+        key = percentile.lower()
+    except AttributeError:
+        key = None
+    field = _PERCENTILE_FIELDS.get(key)
+    if field is None:
+        known = ", ".join(_PERCENTILE_FIELDS)
+        raise ValueError(
+            f"unknown percentile {percentile!r}; known: {known}"
+        )
+    return field
 
 
 @dataclass(frozen=True)
@@ -34,6 +75,42 @@ class BatchingPolicy:
             raise ValueError("max_batch must be >= 1")
         if self.timeout_ms < 0:
             raise ValueError("timeout_ms must be >= 0")
+
+    @property
+    def label(self) -> str:
+        return f"fixed(max={self.max_batch},timeout={self.timeout_ms:g}ms)"
+
+
+@dataclass(frozen=True)
+class ContinuousBatching:
+    """Continuous (in-flight) batch formation with SLA-adaptive sizing.
+
+    The batcher dispatches whenever the GPU is free and at least one
+    query waits; the batch is whatever has arrived by dispatch time
+    (capped at ``max_batch``), so queries join the forming batch right
+    up to launch instead of waiting out a timeout.
+
+    With ``sla_ms`` set, the batch size adapts to SLA pressure: the
+    batcher picks the largest batch whose execution still lands the
+    *oldest* queued query inside the SLA (larger batches amortize
+    better but add execution time every rider pays).  Once the oldest
+    query is past saving the batcher stops protecting it and drains at
+    full width, maximizing goodput of the queries behind it.
+    """
+
+    max_batch: int = 2048
+    sla_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.sla_ms is not None and self.sla_ms <= 0:
+            raise ValueError("sla_ms must be positive when given")
+
+    @property
+    def label(self) -> str:
+        sla = f",sla={self.sla_ms:g}ms" if self.sla_ms is not None else ""
+        return f"continuous(max={self.max_batch}{sla})"
 
 
 @dataclass(frozen=True)
@@ -50,7 +127,103 @@ class ServingReport:
     gpu_utilization: float
 
     def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
-        return getattr(self, f"{percentile.lower()}_ms") <= sla_ms
+        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Latency/goodput breakdown of one scenario phase.
+
+    ``goodput_qps`` counts queries that completed within the SLA per
+    second of phase wall time; with no SLA given every completion
+    counts.
+    """
+
+    phase: str
+    n_queries: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    goodput_qps: float
+    sla_hit_pct: float
+
+
+def phase_breakdown(
+    latencies_ms: np.ndarray,
+    phase_ids: np.ndarray,
+    phase_names: Sequence[str],
+    phase_durations: Sequence[float],
+    sla_ms: float | None,
+) -> tuple[PhaseStats, ...]:
+    """Per-phase tails and goodput over per-query latencies.
+
+    Shared by the single-GPU stream server and the routed fleet so the
+    two per-phase reports can never drift apart.  Phases with no
+    queries are omitted.
+    """
+    within = (
+        latencies_ms <= sla_ms if sla_ms is not None
+        else np.ones(len(latencies_ms), dtype=bool)
+    )
+    stats = []
+    for pid, (name, span) in enumerate(zip(phase_names, phase_durations)):
+        mask = phase_ids == pid
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        lat = latencies_ms[mask]
+        good = int(within[mask].sum())
+        stats.append(PhaseStats(
+            phase=name,
+            n_queries=count,
+            p50_ms=float(np.percentile(lat, 50)),
+            p95_ms=float(np.percentile(lat, 95)),
+            p99_ms=float(np.percentile(lat, 99)),
+            goodput_qps=good / span if span > 0 else 0.0,
+            sla_hit_pct=100.0 * good / count,
+        ))
+    return tuple(stats)
+
+
+def find_phase(
+    phases: Sequence[PhaseStats], name: str
+) -> PhaseStats:
+    """Look up one phase's stats by name (shared report helper)."""
+    for stats in phases:
+        if stats.phase == name:
+            return stats
+    known = ", ".join(p.phase for p in phases)
+    raise KeyError(f"no phase {name!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """One serving run over an arrival stream, with per-phase detail."""
+
+    scenario: str
+    scheme_name: str
+    batcher: str
+    sla_ms: float | None
+    n_queries: int
+    duration_s: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    goodput_qps: float
+    sla_hit_pct: float
+    mean_batch_size: float
+    gpu_utilization: float
+    phases: tuple[PhaseStats, ...]
+
+    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
+        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
+
+    @property
+    def offered_qps(self) -> float:
+        return self.n_queries / self.duration_s if self.duration_s else 0.0
+
+    def phase(self, name: str) -> PhaseStats:
+        return find_phase(self.phases, name)
 
 
 def interpolated_latency_model(
@@ -70,21 +243,235 @@ def interpolated_latency_model(
     return model
 
 
+# ----------------------------------------------------------------------
+# the event loop
+# ----------------------------------------------------------------------
+def _fits_within(exec_ms: LatencyModel, size: int, budget_ms: float) -> int:
+    """Largest batch in [1, size] with ``exec_ms(batch) <= budget_ms``
+    (0 if none).  Assumes ``exec_ms`` is non-decreasing, true of every
+    calibrated curve."""
+    if exec_ms(size) <= budget_ms:
+        return size
+    if exec_ms(1) > budget_ms:
+        return 0
+    lo, hi = 1, size  # invariant: exec(lo) fits, exec(hi) does not
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if exec_ms(mid) <= budget_ms:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def _adaptive_batch(
+    exec_ms: LatencyModel,
+    queue_times: np.ndarray,
+    start: float,
+    max_batch: int,
+    sla_ms: float,
+) -> int:
+    """Goodput-greedy batch sizing under SLA pressure.
+
+    Among candidate batch sizes, pick the one completing the most
+    queries *within the SLA* per second of GPU time; ties go to the
+    larger batch (throughput).  The candidate ladder is geometric plus
+    the two SLA-shaped sweet spots — the largest batch whose execution
+    alone fits the SLA, and the largest whose execution fits the oldest
+    query's remaining slack.  Under light pressure this degenerates to
+    "take everything"; once the whole queue is past saving every
+    candidate scores zero and the tie-break drains at full width, which
+    maximizes goodput of the queries arriving behind the backlog.
+    """
+    waiting = min(len(queue_times), max_batch)
+    if waiting <= 1:
+        return waiting
+    candidates = set()
+    size = waiting
+    while size >= 1:
+        candidates.add(size)
+        size //= 2
+    slack_ms = sla_ms - (start - float(queue_times[0])) * 1e3
+    for budget in (sla_ms, slack_ms):
+        fit = _fits_within(exec_ms, waiting, budget)
+        if fit:
+            candidates.add(fit)
+    best_size, best_key = waiting, (-1.0, -1.0)
+    for size in sorted(candidates):
+        exec_batch_ms = exec_ms(size)
+        cutoff = start + (exec_batch_ms - sla_ms) / 1e3
+        hits = size - int(
+            np.searchsorted(queue_times[:size], cutoff, side="left")
+        )
+        # primary: in-SLA completions per GPU-millisecond; secondary:
+        # raw throughput, which is what matters once nothing can be
+        # saved and the backlog just needs to drain fastest
+        key = (hits / exec_batch_ms, size / exec_batch_ms)
+        if key > best_key:
+            best_key, best_size = key, size
+    return best_size
+
+
+def _serve_arrays(
+    times: np.ndarray,
+    phase_ids: np.ndarray,
+    exec_ms: Sequence[LatencyModel],
+    policy: BatchingPolicy | ContinuousBatching,
+) -> tuple[np.ndarray, list[int], float, float]:
+    """Serve time-sorted arrivals on one GPU; the shared event loop.
+
+    Returns per-query latencies (seconds, in arrival order), per-batch
+    sizes, total busy seconds, and the time the GPU finally went idle.
+    A batch's execution time comes from the latency model of its oldest
+    query's phase (phases are long relative to batches, so mixed
+    batches are rare and the approximation is second-order).
+    """
+    n = len(times)
+    done_at = np.empty(n)
+    batch_sizes: list[int] = []
+    continuous = isinstance(policy, ContinuousBatching)
+    gpu_free = 0.0
+    busy = 0.0
+    head = 0
+    while head < n:
+        first_t = times[head]
+        if continuous:
+            start = max(gpu_free, first_t)
+            waiting = int(
+                np.searchsorted(times[head:], start, side="right")
+            )
+            waiting = max(waiting, 1)
+            if policy.sla_ms is not None:
+                size = _adaptive_batch(
+                    exec_ms[phase_ids[head]],
+                    times[head:head + waiting], start,
+                    policy.max_batch, policy.sla_ms,
+                )
+            else:
+                size = min(waiting, policy.max_batch)
+        else:
+            # size-or-timeout: the batch closes when full, or at
+            # max(oldest + timeout, gpu_free) — arrivals during the GPU's
+            # busy period keep joining, exactly as a host-side queue would
+            threshold = max(first_t + policy.timeout_ms / 1e3, gpu_free)
+            waiting = int(
+                np.searchsorted(times[head:], threshold, side="right")
+            )
+            waiting = max(waiting, 1)
+            if waiting >= policy.max_batch:
+                size = policy.max_batch
+                start = max(times[head + size - 1], gpu_free)
+            else:
+                size = waiting
+                start = threshold
+        exec_s = exec_ms[phase_ids[head]](size) / 1e3
+        done = start + exec_s
+        done_at[head:head + size] = done
+        busy += exec_s
+        gpu_free = done
+        batch_sizes.append(size)
+        head += size
+    return done_at - times, batch_sizes, busy, gpu_free
+
+
+def _resolve_phase_models(
+    latency_ms: LatencyModel | Sequence[LatencyModel]
+                | Mapping[str, LatencyModel],
+    phases: Sequence[str],
+) -> list[LatencyModel]:
+    """One latency curve per phase, from a single curve, a sequence
+    (indexed like ``phases``), or a mapping by phase name."""
+    if callable(latency_ms):
+        return [latency_ms] * len(phases)
+    if isinstance(latency_ms, Mapping):
+        missing = [p for p in phases if p not in latency_ms]
+        if missing:
+            raise KeyError(f"no latency model for phases {missing}")
+        return [latency_ms[p] for p in phases]
+    models = list(latency_ms)
+    if len(models) != len(phases):
+        raise ValueError(
+            f"{len(models)} latency models for {len(phases)} phases"
+        )
+    return models
+
+
+def serve_stream(
+    latency_ms: LatencyModel | Sequence[LatencyModel]
+                | Mapping[str, LatencyModel],
+    stream,
+    *,
+    policy: BatchingPolicy | ContinuousBatching | None = None,
+    sla_ms: float | None = None,
+    scheme_name: str = "scheme",
+) -> StreamReport:
+    """Serve one arrival stream on one GPU and report per-phase tails.
+
+    ``stream`` is any object with the :class:`repro.traffic.ScenarioTrace`
+    shape: ``name``, time-sorted ``times`` (seconds), ``phase_ids``,
+    ``phases`` (names), ``phase_durations`` and ``duration_s``.  The
+    default policy is :class:`ContinuousBatching` with its batch sizing
+    adapted to ``sla_ms``.
+    """
+    if len(stream.times) == 0:
+        raise ValueError(f"arrival stream {stream.name!r} is empty")
+    if stream.duration_s <= 0:
+        raise ValueError(
+            f"arrival stream {stream.name!r} needs a positive duration_s"
+        )
+    if policy is None:
+        policy = ContinuousBatching(sla_ms=sla_ms)
+    models = _resolve_phase_models(latency_ms, stream.phases)
+    times = np.asarray(stream.times, dtype=float)
+    phase_ids = np.asarray(stream.phase_ids)
+    latencies_s, batch_sizes, busy, gpu_free = _serve_arrays(
+        times, phase_ids, models, policy
+    )
+    latencies_ms = latencies_s * 1e3
+    within = (
+        latencies_ms <= sla_ms if sla_ms is not None
+        else np.ones(len(times), dtype=bool)
+    )
+    phase_stats = phase_breakdown(
+        latencies_ms, phase_ids, tuple(stream.phases),
+        tuple(stream.phase_durations), sla_ms,
+    )
+    horizon = max(gpu_free, float(times[-1]), stream.duration_s)
+    return StreamReport(
+        scenario=stream.name,
+        scheme_name=scheme_name,
+        batcher=policy.label,
+        sla_ms=sla_ms,
+        n_queries=len(times),
+        duration_s=stream.duration_s,
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p95_ms=float(np.percentile(latencies_ms, 95)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        goodput_qps=float(within.sum()) / stream.duration_s,
+        sla_hit_pct=100.0 * float(within.sum()) / len(times),
+        mean_batch_size=float(np.mean(batch_sizes)),
+        gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
+        phases=phase_stats,
+    )
+
+
 def simulate_serving(
     batch_latency_ms: Callable[[int], float],
     *,
     qps: float,
     duration_s: float = 10.0,
-    policy: BatchingPolicy | None = None,
+    policy: BatchingPolicy | ContinuousBatching | None = None,
     scheme_name: str = "scheme",
     seed: int = 0,
 ) -> ServingReport:
     """Discrete-event simulation of one GPU serving a Poisson stream.
 
-    Queries arrive at ``qps``; the batcher dispatches when ``max_batch``
-    queries are waiting or the oldest has waited ``timeout_ms``; the GPU
-    serves batches back to back.  Query latency = queueing + batching
-    wait + batch execution.
+    Queries arrive at ``qps`` and are batched by ``policy`` — the
+    size-or-timeout :class:`BatchingPolicy` by default, or
+    :class:`ContinuousBatching` — onto a GPU that serves batches back to
+    back.  Query latency = queueing + batching wait + batch execution.
+    Non-stationary arrival processes go through :func:`serve_stream`
+    with a :mod:`repro.traffic` scenario instead.
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -93,39 +480,11 @@ def simulate_serving(
     n = max(1, int(qps * duration_s))
     arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
 
-    latencies = np.empty(n)
-    gpu_free = 0.0
-    busy = 0.0
-    batch_sizes = []
-    i = 0
-    while i < n:
-        first_arrival = arrivals[i]
-        # the batch closes when full or when the first query times out
-        close_by = first_arrival + policy.timeout_ms / 1e3
-        j = i
-        while (
-            j + 1 < n
-            and j + 1 - i < policy.max_batch
-            and arrivals[j + 1] <= max(close_by, gpu_free)
-        ):
-            j += 1
-        batch = j - i + 1
-        if batch == policy.max_batch:
-            # a full batch dispatches as soon as it fills and the GPU
-            # frees up — it does not wait out the timeout
-            start = max(arrivals[j], gpu_free)
-        else:
-            start = max(close_by, gpu_free)
-        exec_s = batch_latency_ms(batch) / 1e3
-        done = start + exec_s
-        latencies[i:j + 1] = done - arrivals[i:j + 1]
-        busy += exec_s
-        gpu_free = done
-        batch_sizes.append(batch)
-        i = j + 1
-
-    latencies_ms = latencies * 1e3
-    horizon = max(gpu_free, arrivals[-1])
+    latencies_s, batch_sizes, busy, gpu_free = _serve_arrays(
+        arrivals, np.zeros(n, dtype=np.int64), [batch_latency_ms], policy
+    )
+    latencies_ms = latencies_s * 1e3
+    horizon = max(gpu_free, float(arrivals[-1]))
     return ServingReport(
         scheme_name=scheme_name,
         qps=qps,
@@ -145,7 +504,7 @@ def max_sustainable_qps(
     percentile: str = "p99",
     qps_grid: Sequence[float] = (500, 1000, 2000, 4000, 8000, 16000,
                                  32000, 64000),
-    policy: BatchingPolicy | None = None,
+    policy: BatchingPolicy | ContinuousBatching | None = None,
     scheme_name: str = "scheme",
     seed: int = 0,
 ) -> tuple[float, list[ServingReport]]:

@@ -21,7 +21,11 @@ from repro.fleet.placement import (
     measure_table_times,
     place_tables,
 )
-from repro.fleet.report import FleetReport, build_fleet_report
+from repro.fleet.report import (
+    FleetReport,
+    build_fleet_report,
+    phase_breakdown,
+)
 from repro.fleet.router import (
     ROUTING_POLICIES,
     JoinShortestQueuePolicy,
@@ -31,6 +35,7 @@ from repro.fleet.router import (
     RoutingPolicy,
     resolve_policy,
     simulate_fleet,
+    simulate_fleet_stream,
 )
 from repro.fleet.topology import (
     GPU_COST_UNITS,
@@ -58,8 +63,10 @@ __all__ = [
     "hetero_lpt_shard",
     "linear_latency_model",
     "measure_table_times",
+    "phase_breakdown",
     "place_tables",
     "replicas_needed",
     "resolve_policy",
     "simulate_fleet",
+    "simulate_fleet_stream",
 ]

@@ -5,7 +5,9 @@ A :class:`FleetReport` aggregates the per-replica
 into the numbers a capacity planner reads: fleet-wide p50/p95/p99 over
 *all* queries (not a mean of per-replica tails — tail latency does not
 average), utilization balance across replicas, and throughput
-normalized by GPU count and by cost.
+normalized by GPU count and by cost.  Scenario runs additionally carry
+a per-phase breakdown (p50/p99/goodput per scenario phase) so routing
+policies can be judged inside the burst, not just on the run average.
 """
 
 from __future__ import annotations
@@ -14,7 +16,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.serving import ServingReport
+from repro.core.serving import (
+    PhaseStats,
+    ServingReport,
+    find_phase,
+    phase_breakdown,
+    resolve_percentile_field,
+)
+
+__all__ = [
+    "FleetReport",
+    "build_fleet_report",
+    "phase_breakdown",  # re-export: shared with core.serving
+]
 
 
 @dataclass(frozen=True)
@@ -30,9 +44,16 @@ class FleetReport:
     p99_ms: float
     replica_reports: tuple[ServingReport, ...]
     cost_units: float
+    sla_ms: float | None = None
+    goodput_qps: float = 0.0
+    sla_hit_pct: float = 100.0
+    phases: tuple[PhaseStats, ...] = ()
 
     def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
-        return getattr(self, f"{percentile.lower()}_ms") <= sla_ms
+        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
+
+    def phase(self, name: str) -> PhaseStats:
+        return find_phase(self.phases, name)
 
     @property
     def n_replicas(self) -> int:
@@ -79,18 +100,31 @@ def build_fleet_report(
     latencies_ms: np.ndarray,
     replica_reports: tuple[ServingReport, ...],
     cost_units: float,
+    *,
+    sla_ms: float | None = None,
+    duration_s: float | None = None,
+    phases: tuple[PhaseStats, ...] = (),
 ) -> FleetReport:
     """Assemble a :class:`FleetReport` from routed per-query latencies."""
     if len(latencies_ms) == 0:
         raise ValueError("fleet simulation produced no queries")
+    n = int(len(latencies_ms))
+    within = (
+        int(np.count_nonzero(latencies_ms <= sla_ms))
+        if sla_ms is not None else n
+    )
     return FleetReport(
         fleet_name=fleet_name,
         policy=policy,
         qps=qps,
-        n_queries=int(len(latencies_ms)),
+        n_queries=n,
         p50_ms=float(np.percentile(latencies_ms, 50)),
         p95_ms=float(np.percentile(latencies_ms, 95)),
         p99_ms=float(np.percentile(latencies_ms, 99)),
         replica_reports=replica_reports,
         cost_units=cost_units,
+        sla_ms=sla_ms,
+        goodput_qps=within / duration_s if duration_s else 0.0,
+        sla_hit_pct=100.0 * within / n,
+        phases=phases,
     )

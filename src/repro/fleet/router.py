@@ -24,7 +24,11 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.core.serving import ServingReport
-from repro.fleet.report import FleetReport, build_fleet_report
+from repro.fleet.report import (
+    FleetReport,
+    build_fleet_report,
+    phase_breakdown,
+)
 from repro.fleet.topology import FleetSpec, ReplicaSpec
 
 #: A batch-latency curve: batch size -> milliseconds.
@@ -36,16 +40,17 @@ class _ReplicaState:
 
     __slots__ = (
         "spec", "latency_ms", "queue", "gpu_free", "busy",
-        "latencies", "batch_sizes",
+        "latencies", "phases", "batch_sizes",
     )
 
     def __init__(self, spec: ReplicaSpec, latency_ms: LatencyModel) -> None:
         self.spec = spec
         self.latency_ms = latency_ms
-        self.queue: deque[float] = deque()
+        self.queue: deque[tuple[float, int]] = deque()
         self.gpu_free = 0.0
         self.busy = 0.0
         self.latencies: list[float] = []
+        self.phases: list[int] = []
         self.batch_sizes: list[int] = []
 
     # -- event mechanics ------------------------------------------------
@@ -54,8 +59,8 @@ class _ReplicaState:
         policy = self.spec.batching
         if len(self.queue) >= policy.max_batch:
             # full batch: goes as soon as it filled and the GPU is free
-            return max(self.queue[policy.max_batch - 1], self.gpu_free)
-        return max(self.queue[0] + policy.timeout_ms / 1e3, self.gpu_free)
+            return max(self.queue[policy.max_batch - 1][0], self.gpu_free)
+        return max(self.queue[0][0] + policy.timeout_ms / 1e3, self.gpu_free)
 
     def advance(self, now: float) -> None:
         """Dispatch every batch whose dispatch time is <= ``now``."""
@@ -64,16 +69,17 @@ class _ReplicaState:
             if at > now:
                 break
             size = min(len(self.queue), self.spec.batching.max_batch)
-            arrivals = [self.queue.popleft() for _ in range(size)]
+            batch = [self.queue.popleft() for _ in range(size)]
             exec_s = self.latency_ms(size) / 1e3
             done = at + exec_s
-            self.latencies.extend(done - a for a in arrivals)
+            self.latencies.extend(done - a for a, _ in batch)
+            self.phases.extend(p for _, p in batch)
             self.busy += exec_s
             self.gpu_free = done
             self.batch_sizes.append(size)
 
-    def enqueue(self, arrival: float) -> None:
-        self.queue.append(arrival)
+    def enqueue(self, arrival: float, phase: int = 0) -> None:
+        self.queue.append((arrival, phase))
 
     # -- routing metrics ------------------------------------------------
     def queue_len(self) -> int:
@@ -213,6 +219,40 @@ def resolve_latency_models(
     return resolved
 
 
+def _route_stream(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, LatencyModel],
+    times: np.ndarray,
+    phase_ids: np.ndarray,
+    *,
+    policy: str | RoutingPolicy,
+    seed: int,
+) -> tuple[list[_ReplicaState], RoutingPolicy, float]:
+    """Route a time-sorted arrival stream and drain every replica."""
+    models = resolve_latency_models(fleet, latency_models)
+    states = [
+        _ReplicaState(replica, models[replica.name])
+        for replica in fleet.replicas
+    ]
+    router = resolve_policy(policy)
+    router.reset(len(states))
+    # distinct stream from the arrival-generation rng: sampling policies
+    # must not replay the bits that produced the inter-arrival gaps
+    rng = np.random.default_rng([seed, 0x617])
+
+    for arrival, phase in zip(times, phase_ids):
+        now = float(arrival)
+        for state in states:
+            state.advance(now)
+        states[router.select(states, now, rng)].enqueue(now, int(phase))
+    for state in states:
+        state.advance(float("inf"))
+    horizon = max(
+        float(times[-1]), max(s.gpu_free for s in states)
+    )
+    return states, router, horizon
+
+
 def simulate_fleet(
     fleet: FleetSpec,
     latency_models: Mapping[str, LatencyModel],
@@ -231,27 +271,12 @@ def simulate_fleet(
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
-    models = resolve_latency_models(fleet, latency_models)
-    states = [
-        _ReplicaState(replica, models[replica.name])
-        for replica in fleet.replicas
-    ]
-    router = resolve_policy(policy)
-    router.reset(len(states))
     rng = np.random.default_rng(seed)
-
     n = max(1, int(qps * duration_s))
     arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
-    for arrival in arrivals:
-        now = float(arrival)
-        for state in states:
-            state.advance(now)
-        states[router.select(states, now, rng)].enqueue(now)
-    for state in states:
-        state.advance(float("inf"))
-
-    horizon = max(
-        float(arrivals[-1]), max(s.gpu_free for s in states)
+    states, router, horizon = _route_stream(
+        fleet, latency_models, arrivals, np.zeros(n, dtype=np.int64),
+        policy=policy, seed=seed,
     )
     replica_reports = tuple(
         _replica_report(state, horizon) for state in states
@@ -266,6 +291,56 @@ def simulate_fleet(
         latencies_ms=all_latencies_ms,
         replica_reports=replica_reports,
         cost_units=fleet.cost_units,
+    )
+
+
+def simulate_fleet_stream(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, LatencyModel],
+    stream,
+    *,
+    policy: str | RoutingPolicy = "jsq",
+    sla_ms: float | None = None,
+    seed: int = 0,
+) -> FleetReport:
+    """A routed fleet serving one scenario stream, with per-phase tails.
+
+    ``stream`` is any object with the
+    :class:`repro.traffic.ScenarioTrace` shape (``times``, ``phase_ids``,
+    ``phases``, ``phase_durations``, ``duration_s``, ``name``) — this is
+    how routing policies get evaluated *inside* a burst or a drift
+    window instead of on the run average.  ``seed`` only drives the
+    router's sampling policies (the stream is already materialized).
+    """
+    times = np.asarray(stream.times, dtype=float)
+    if len(times) == 0:
+        raise ValueError(f"arrival stream {stream.name!r} is empty")
+    phase_ids = np.asarray(stream.phase_ids)
+    states, router, horizon = _route_stream(
+        fleet, latency_models, times, phase_ids, policy=policy, seed=seed,
+    )
+    replica_reports = tuple(
+        _replica_report(state, horizon) for state in states
+    )
+    all_latencies_ms = 1e3 * np.concatenate(
+        [np.asarray(s.latencies) for s in states]
+    )
+    all_phases = np.concatenate([
+        np.asarray(s.phases, dtype=np.int64) for s in states
+    ])
+    return build_fleet_report(
+        fleet_name=fleet.name,
+        policy=router.name,
+        qps=len(times) / stream.duration_s if stream.duration_s else 0.0,
+        latencies_ms=all_latencies_ms,
+        replica_reports=replica_reports,
+        cost_units=fleet.cost_units,
+        sla_ms=sla_ms,
+        duration_s=stream.duration_s,
+        phases=phase_breakdown(
+            all_latencies_ms, all_phases, tuple(stream.phases),
+            tuple(stream.phase_durations), sla_ms,
+        ),
     )
 
 

@@ -4,6 +4,7 @@ Usage::
 
     repro-harness list
     repro-harness run fig12 [--sms 6] [--seed 0] [--memo-dir PATH]
+    repro-harness run scenario --profile diurnal|flash|mmpp|drift|poisson
     repro-harness run all
 """
 
@@ -17,6 +18,7 @@ from repro.gpusim.memo import KernelMemo, set_default_memo
 from repro.harness.context import ExperimentContext, HarnessConfig
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.runner import list_experiments, run_experiment
+from repro.traffic.scenario import SCENARIO_PROFILES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +39,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated GPU slice size in SMs (default 6)",
     )
     run.add_argument("--seed", type=int, default=0, help="trace seed")
+    run.add_argument(
+        "--profile", default=None, choices=SCENARIO_PROFILES,
+        help=(
+            "traffic shape for the 'scenario' experiment "
+            "(default: flash)"
+        ),
+    )
     run.add_argument(
         "--memo-dir", default=None, metavar="PATH",
         help=(
@@ -67,7 +76,12 @@ def main(argv: list[str] | None = None) -> int:
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:
         start = time.perf_counter()
-        table = run_experiment(exp_id, ctx)
+        # a single named experiment sees the flag (and rejects it if it
+        # takes no profile); under 'all' it applies to 'scenario' only
+        profile = args.profile if (
+            args.experiment != "all" or exp_id == "scenario"
+        ) else None
+        table = run_experiment(exp_id, ctx, profile=profile)
         elapsed = time.perf_counter() - start
         print(table.render())
         print(f"({exp_id} regenerated in {elapsed:.1f}s)")

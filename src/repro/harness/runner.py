@@ -12,16 +12,32 @@ def list_experiments() -> list[tuple[str, str]]:
 
 
 def run_experiment(
-    exp_id: str, ctx: ExperimentContext | None = None
+    exp_id: str,
+    ctx: ExperimentContext | None = None,
+    *,
+    profile: str | None = None,
 ) -> ExperimentTable:
-    """Run one experiment by id (``fig12``, ``tab4``, ...)."""
+    """Run one experiment by id (``fig12``, ``tab4``, ...).
+
+    ``profile`` selects the traffic shape of the ``scenario``
+    experiment (its builder's default otherwise) and is rejected for
+    experiments that take no profile.
+    """
     try:
         builder, _ = EXPERIMENTS[exp_id]
     except KeyError:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") \
             from None
-    return builder(ctx or default_context())
+    ctx = ctx or default_context()
+    if profile is not None:
+        if exp_id != "scenario":
+            raise ValueError(
+                f"--profile only applies to the scenario experiment, "
+                f"not {exp_id!r}"
+            )
+        return builder(ctx, profile=profile)
+    return builder(ctx)
 
 
 def run_all(ctx: ExperimentContext | None = None) -> dict[str, ExperimentTable]:

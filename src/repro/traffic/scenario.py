@@ -1,0 +1,452 @@
+"""Non-stationary request scenarios: diurnal, bursty, flash, drifting.
+
+Every workload the serving layer saw before this module was a
+stationary Poisson stream — the regime where batching decisions are
+easy.  Production recommendation traffic is not stationary: it swings
+with the day (diurnal), switches between calm and bursty regimes,
+spikes when an item goes viral, and drifts in embedding popularity
+(Gupta et al., HPCA 2020; Hsia et al., IISWC 2020).  This module
+describes those shapes declaratively and generates seeded,
+bit-reproducible arrival streams from them.
+
+A :class:`ScenarioSpec` subclass fixes the *intensity function*
+``rate(t)`` and a phase labelling ``phase_at(t)`` (the per-phase
+breakdown every report uses).  Generation is Lewis–Shedler thinning of
+a dominating homogeneous Poisson process at ``peak_rate()``, which is
+exact for any bounded intensity and deterministic for a fixed seed.
+The MMPP scenario first samples its regime path (exponential holding
+times), then fills each regime segment — also exact.
+
+The output is a :class:`ScenarioTrace`: flat numpy arrays of arrival
+times and phase ids plus phase wall-clock durations, the structural
+contract :func:`repro.core.serving.serve_stream` and the fleet router
+consume.  :func:`iter_arrivals` offers the same stream as a lazy
+iterator of ``(time, phase)`` pairs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+#: Chunk size for vectorized thinning draws (generation detail; changing
+#: it changes the draw order and therefore the streams of a given seed).
+_CHUNK = 4096
+
+#: Grid resolution for integrating phase wall-clock durations.
+_PHASE_GRID = 4096
+
+
+class Arrival(NamedTuple):
+    """One request: arrival time (seconds) and its phase label."""
+
+    t: float
+    phase: str
+
+
+@dataclass(frozen=True)
+class ScenarioTrace:
+    """A materialized arrival stream: the serving layer's input contract.
+
+    ``times`` is sorted; ``phase_ids[i]`` indexes ``phases``;
+    ``phase_durations[p]`` is the wall-clock time phase ``p`` was
+    active (used for per-phase goodput).
+    """
+
+    name: str
+    times: np.ndarray
+    phase_ids: np.ndarray
+    phases: tuple[str, ...]
+    phase_durations: tuple[float, ...]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.phase_ids):
+            raise ValueError("times and phase_ids must align")
+        if len(self.phases) != len(self.phase_durations):
+            raise ValueError("phases and phase_durations must align")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    @property
+    def n_arrivals(self) -> int:
+        return len(self.times)
+
+    @property
+    def mean_qps(self) -> float:
+        return self.n_arrivals / self.duration_s if self.duration_s else 0.0
+
+    def fingerprint(self) -> str:
+        """Content hash of the exact stream (reproducibility checks)."""
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.times).tobytes())
+        digest.update(
+            np.ascontiguousarray(self.phase_ids, dtype=np.int64).tobytes()
+        )
+        digest.update("|".join(self.phases).encode())
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Base class: a deterministic-intensity (NHPP) scenario.
+
+    Subclasses define ``rate(t)`` (vectorized over numpy arrays),
+    ``phase_at(t)`` (vectorized phase-index labelling), ``phases`` and
+    ``peak_rate()``.  ``sample(seed)`` — thinning against the peak
+    rate — is shared.
+    """
+
+    base_qps: float = 1000.0
+    duration_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0:
+            raise ValueError("base_qps must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    # -- shape contract -------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.kind}@{self.base_qps:g}qps"
+
+    @property
+    def kind(self) -> str:
+        return "poisson"
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return ("steady",)
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        """Instantaneous arrival intensity (QPS) at time ``t``."""
+        return np.full_like(np.asarray(t, dtype=float), self.base_qps)
+
+    def phase_at(self, t: np.ndarray) -> np.ndarray:
+        """Phase index active at time ``t``."""
+        return np.zeros(np.shape(t), dtype=np.int64)
+
+    def peak_rate(self) -> float:
+        """A bound on ``rate`` over the run (thinning envelope)."""
+        return self.base_qps
+
+    # -- generation -----------------------------------------------------
+    def sample(self, seed: int = 0) -> ScenarioTrace:
+        """Draw one seeded, bit-reproducible arrival stream."""
+        rng = np.random.default_rng(seed)
+        times = _thinned_arrivals(
+            self.rate, self.peak_rate(), self.duration_s, rng
+        )
+        return ScenarioTrace(
+            name=self.name,
+            times=times,
+            phase_ids=self.phase_at(times),
+            phases=self.phases,
+            phase_durations=self._phase_durations(),
+            duration_s=self.duration_s,
+        )
+
+    def _phase_durations(self) -> tuple[float, ...]:
+        grid = (np.arange(_PHASE_GRID) + 0.5) * (self.duration_s / _PHASE_GRID)
+        ids = self.phase_at(grid)
+        dt = self.duration_s / _PHASE_GRID
+        return tuple(
+            float(np.count_nonzero(ids == p) * dt)
+            for p in range(len(self.phases))
+        )
+
+
+def _thinned_arrivals(
+    rate_fn, peak: float, duration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Lewis–Shedler thinning of a dominating Poisson(peak) process."""
+    out = []
+    t = 0.0
+    while t < duration:
+        gaps = rng.exponential(1.0 / peak, size=_CHUNK)
+        accept_u = rng.random(_CHUNK)
+        candidates = t + np.cumsum(gaps)
+        rates = np.asarray(rate_fn(candidates), dtype=float)
+        if np.any(rates > peak * (1 + 1e-9)):
+            raise ValueError("peak_rate() does not bound rate()")
+        keep = (candidates < duration) & (accept_u * peak < rates)
+        out.append(candidates[keep])
+        t = float(candidates[-1])
+    return np.concatenate(out) if out else np.empty(0)
+
+
+@dataclass(frozen=True)
+class StationarySpec(ScenarioSpec):
+    """Stationary Poisson traffic — the baseline every scenario extends."""
+
+
+@dataclass(frozen=True)
+class DiurnalSpec(ScenarioSpec):
+    """Day-shaped load: a sinusoid around the base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi*(t/period) + phase0))``.
+    Phases label the thirds of the swing: ``peak`` / ``shoulder`` /
+    ``trough``.
+    """
+
+    amplitude: float = 0.6
+    period_s: float | None = None  # None -> one full cycle over the run
+    phase0: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.amplitude < 1.0:
+            raise ValueError("amplitude must be in (0, 1)")
+        if self.period_s is not None and self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    @property
+    def kind(self) -> str:
+        return "diurnal"
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return ("trough", "shoulder", "peak")
+
+    def _period(self) -> float:
+        return self.period_s if self.period_s is not None else self.duration_s
+
+    def _swing(self, t: np.ndarray) -> np.ndarray:
+        angle = 2.0 * np.pi * np.asarray(t, dtype=float) / self._period()
+        return np.sin(angle + self.phase0)
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        return self.base_qps * (1.0 + self.amplitude * self._swing(t))
+
+    def phase_at(self, t: np.ndarray) -> np.ndarray:
+        swing = self._swing(t)
+        return np.where(
+            swing > 1.0 / 3.0, 2, np.where(swing < -1.0 / 3.0, 0, 1)
+        ).astype(np.int64)
+
+    def peak_rate(self) -> float:
+        return self.base_qps * (1.0 + self.amplitude)
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec(ScenarioSpec):
+    """A flash crowd: baseline, a sharp ramp to ``magnitude`` x base,
+    then exponential decay back toward baseline.
+
+    Phases: ``pre`` (before the spike hits), ``spike`` (ramp plus one
+    decay constant — the overload window), ``recovery`` (the tail).
+    """
+
+    spike_at_s: float = 4.0
+    magnitude: float = 8.0
+    ramp_s: float = 0.5
+    decay_s: float = 1.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.spike_at_s < self.duration_s:
+            raise ValueError("spike_at_s must fall inside the run")
+        if self.magnitude <= 1.0:
+            raise ValueError("magnitude must exceed 1 (it multiplies base)")
+        if self.ramp_s <= 0 or self.decay_s <= 0:
+            raise ValueError("ramp_s and decay_s must be positive")
+
+    @property
+    def kind(self) -> str:
+        return "flash"
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return ("pre", "spike", "recovery")
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        since = t - self.spike_at_s
+        ramp = np.clip(since / self.ramp_s, 0.0, 1.0)
+        decay = np.where(
+            since > self.ramp_s,
+            np.exp(-(since - self.ramp_s) / self.decay_s),
+            1.0,
+        )
+        shape = np.where(since < 0.0, 0.0, ramp * decay)
+        return self.base_qps * (1.0 + (self.magnitude - 1.0) * shape)
+
+    def phase_at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        spike_end = self.spike_at_s + self.ramp_s + self.decay_s
+        return np.where(
+            t < self.spike_at_s, 0, np.where(t < spike_end, 1, 2)
+        ).astype(np.int64)
+
+    def peak_rate(self) -> float:
+        return self.base_qps * self.magnitude
+
+
+@dataclass(frozen=True)
+class MMPPSpec(ScenarioSpec):
+    """Markov-modulated Poisson traffic: calm/burst regime switching.
+
+    A two-state MMPP: exponential holding times in a ``calm`` regime at
+    ``base_qps`` and a ``burst`` regime at ``burst_multiplier * base``.
+    The regime path is part of the seeded sample, so two draws with one
+    seed share bursts bit for bit.
+    """
+
+    burst_multiplier: float = 5.0
+    mean_calm_s: float = 2.0
+    mean_burst_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_multiplier <= 1.0:
+            raise ValueError("burst_multiplier must exceed 1")
+        if self.mean_calm_s <= 0 or self.mean_burst_s <= 0:
+            raise ValueError("mean regime holding times must be positive")
+
+    @property
+    def kind(self) -> str:
+        return "mmpp"
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return ("calm", "burst")
+
+    def peak_rate(self) -> float:
+        return self.base_qps * self.burst_multiplier
+
+    def sample(self, seed: int = 0) -> ScenarioTrace:
+        rng = np.random.default_rng(seed)
+        rate_of = (self.base_qps, self.base_qps * self.burst_multiplier)
+        mean_of = (self.mean_calm_s, self.mean_burst_s)
+        segments = []  # (start, end, state)
+        t, state = 0.0, 0  # runs start calm
+        while t < self.duration_s:
+            hold = float(rng.exponential(mean_of[state]))
+            segments.append((t, min(t + hold, self.duration_s), state))
+            t += hold
+            state = 1 - state
+        times, ids, spans = [], [], [0.0, 0.0]
+        for start, end, state in segments:
+            spans[state] += end - start
+            seg = start + np.cumsum(rng.exponential(
+                1.0 / rate_of[state],
+                size=max(16, int(3 * rate_of[state] * (end - start)) + 16),
+            ))
+            while seg[-1] < end:  # rare: undershot the segment, extend
+                seg = np.concatenate([seg, seg[-1] + np.cumsum(
+                    rng.exponential(1.0 / rate_of[state], size=64)
+                )])
+            seg = seg[seg < end]
+            times.append(seg)
+            ids.append(np.full(len(seg), state, dtype=np.int64))
+        return ScenarioTrace(
+            name=self.name,
+            times=np.concatenate(times) if times else np.empty(0),
+            phase_ids=np.concatenate(ids) if ids else
+            np.empty(0, dtype=np.int64),
+            phases=self.phases,
+            phase_durations=(spans[0], spans[1]),
+            duration_s=self.duration_s,
+        )
+
+
+@dataclass(frozen=True)
+class DriftSpec(ScenarioSpec):
+    """Stationary arrivals over *drifting* embedding popularity.
+
+    The arrival process stays Poisson at ``base_qps``; what changes is
+    the workload underneath: the run is split into ``n_phases`` equal
+    windows and the embedding access pattern drifts by
+    ``drift_per_phase`` between consecutive windows (the
+    :class:`repro.core.drift.DriftModel` popularity migration).  Serving
+    consumers attach one batch-latency curve per phase — see
+    :func:`repro.traffic.serve.drift_phase_factors` — so pinned-cache
+    degradation shows up as per-phase tail growth.
+    """
+
+    n_phases: int = 4
+    drift_per_phase: float = 0.15
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_phases < 1:
+            raise ValueError("n_phases must be >= 1")
+        if not 0.0 <= self.drift_per_phase <= 1.0:
+            raise ValueError("drift_per_phase must be in [0, 1]")
+
+    @property
+    def kind(self) -> str:
+        return "drift"
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return tuple(f"drift{k}" for k in range(self.n_phases))
+
+    def phase_at(self, t: np.ndarray) -> np.ndarray:
+        span = self.duration_s / self.n_phases
+        ids = np.asarray(t, dtype=float) // span
+        return np.clip(ids, 0, self.n_phases - 1).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# the single seeded entry points
+# ----------------------------------------------------------------------
+def generate_arrivals(spec: ScenarioSpec, seed: int = 0) -> ScenarioTrace:
+    """Materialize one seeded arrival stream for a scenario."""
+    return spec.sample(seed)
+
+
+def iter_arrivals(spec: ScenarioSpec, seed: int = 0) -> Iterator[Arrival]:
+    """The same stream as a lazy iterator of ``(time, phase)`` pairs."""
+    trace = generate_arrivals(spec, seed)
+    for t, pid in zip(trace.times, trace.phase_ids):
+        yield Arrival(float(t), trace.phases[int(pid)])
+
+
+#: profile name -> spec factory with representative shape defaults.
+SCENARIO_PROFILES = ("poisson", "diurnal", "flash", "mmpp", "drift")
+
+
+def scenario_profile(
+    profile: str, *, base_qps: float = 2000.0, duration_s: float = 20.0
+) -> ScenarioSpec:
+    """A named scenario with representative shape parameters.
+
+    The shapes scale with ``duration_s`` (one diurnal cycle per run,
+    flash crowd at 40% of the run, ...) so one profile name means the
+    same *story* at any length.
+    """
+    if profile == "poisson":
+        return StationarySpec(base_qps=base_qps, duration_s=duration_s)
+    if profile == "diurnal":
+        return DiurnalSpec(
+            base_qps=base_qps, duration_s=duration_s, amplitude=0.7,
+        )
+    if profile == "flash":
+        return FlashCrowdSpec(
+            base_qps=base_qps,
+            duration_s=duration_s,
+            spike_at_s=0.4 * duration_s,
+            magnitude=8.0,
+            ramp_s=0.04 * duration_s,
+            decay_s=0.1 * duration_s,
+        )
+    if profile == "mmpp":
+        return MMPPSpec(
+            base_qps=base_qps,
+            duration_s=duration_s,
+            burst_multiplier=5.0,
+            mean_calm_s=duration_s / 8.0,
+            mean_burst_s=duration_s / 16.0,
+        )
+    if profile == "drift":
+        return DriftSpec(
+            base_qps=base_qps, duration_s=duration_s,
+            n_phases=4, drift_per_phase=0.15,
+        )
+    known = ", ".join(SCENARIO_PROFILES)
+    raise ValueError(f"unknown scenario profile {profile!r}; known: {known}")

@@ -1,0 +1,153 @@
+"""Serve scenario streams: single GPU and routed fleet entry points.
+
+This is the orchestration layer between :mod:`repro.traffic.scenario`
+(what arrives when) and the serving engines (what happens to it): one
+call generates a seeded stream and plays it against the
+continuous-batching event loop in :mod:`repro.core.serving` or the
+routed fleet simulator in :mod:`repro.fleet.router`.
+
+It also owns the drift-scenario calibration: a :class:`DriftSpec`
+changes the *workload* under the server, not the arrivals, so its
+phases need one batch-latency curve each.  :func:`drift_phase_factors`
+measures how much the kernel slows down as popularity drifts away from
+the pinned working set (re-using :class:`repro.core.drift.DriftModel`
+and the memoized kernel simulator), and :func:`scaled_latency_models`
+turns a base curve plus those factors into the per-phase models the
+serving layer accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.config.gpu import A100_SXM4_80GB, GpuSpec
+from repro.config.model import PAPER_MODEL, DLRMConfig
+from repro.config.scale import SimScale
+from repro.core.drift import DriftModel
+from repro.core.embedding import kernel_workload, run_table_kernel
+from repro.core.schemes import L2P_OPTMT, Scheme
+from repro.core.serving import (
+    BatchingPolicy,
+    ContinuousBatching,
+    LatencyModel,
+    StreamReport,
+    serve_stream,
+)
+from repro.datasets.analysis import top_hot_rows
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.fleet.report import FleetReport
+from repro.fleet.router import RoutingPolicy, simulate_fleet_stream
+from repro.fleet.topology import FleetSpec
+from repro.kernels.pinning import pinnable_rows
+from repro.traffic.scenario import (
+    DriftSpec,
+    ScenarioSpec,
+    ScenarioTrace,
+    generate_arrivals,
+)
+
+
+def simulate_scenario_serving(
+    spec: ScenarioSpec | ScenarioTrace,
+    latency_ms: LatencyModel | Sequence[LatencyModel]
+                | Mapping[str, LatencyModel],
+    *,
+    policy: BatchingPolicy | ContinuousBatching | None = None,
+    sla_ms: float | None = None,
+    scheme_name: str = "scheme",
+    seed: int = 0,
+) -> StreamReport:
+    """One GPU serving one scenario; per-phase p50/p99/goodput.
+
+    ``spec`` may be a scenario (sampled here with ``seed``) or an
+    already-generated :class:`ScenarioTrace` when several policies
+    should face the *identical* stream.
+    """
+    trace = (
+        spec if isinstance(spec, ScenarioTrace)
+        else generate_arrivals(spec, seed)
+    )
+    return serve_stream(
+        latency_ms, trace, policy=policy, sla_ms=sla_ms,
+        scheme_name=scheme_name,
+    )
+
+
+def simulate_fleet_scenario(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, LatencyModel],
+    spec: ScenarioSpec | ScenarioTrace,
+    *,
+    policy: str | RoutingPolicy = "jsq",
+    sla_ms: float | None = None,
+    seed: int = 0,
+) -> FleetReport:
+    """A routed fleet serving one scenario; per-phase fleet breakdown.
+
+    The routing ``seed`` also seeds the arrival stream when ``spec`` is
+    a scenario, so a (fleet, policy, seed) triple is fully reproducible.
+    """
+    trace = (
+        spec if isinstance(spec, ScenarioTrace)
+        else generate_arrivals(spec, seed)
+    )
+    return simulate_fleet_stream(
+        fleet, latency_models, trace, policy=policy, sla_ms=sla_ms,
+        seed=seed,
+    )
+
+
+def drift_phase_factors(
+    spec: DriftSpec,
+    *,
+    dataset: str = "med_hot",
+    scheme: Scheme = L2P_OPTMT,
+    gpu: GpuSpec = A100_SXM4_80GB,
+    model: DLRMConfig = PAPER_MODEL,
+    num_sms: int = 2,
+    seed: int = 0,
+) -> tuple[float, ...]:
+    """Kernel-time degradation per drift phase, relative to phase 0.
+
+    Mirrors the paper's Section IV-C concern: rows are pinned once
+    against the phase-0 popularity profile, then the access pattern
+    drifts away from the pinned set phase by phase and the kernel slows
+    down.  Factors are measured on the (memoized) kernel simulator, so
+    repeated calibrations are nearly free.
+    """
+    workload = kernel_workload(
+        gpu, model, SimScale(name=f"drift{num_sms}", num_sms=num_sms)
+    )
+    dataset_spec = HOTNESS_PRESETS[dataset]
+    base_trace = generate_trace(
+        dataset_spec,
+        batch_size=workload.batch_size,
+        pooling_factor=workload.pooling_factor,
+        table_rows=workload.table_rows,
+        seed=seed,
+    )
+    hot_rows = top_hot_rows(base_trace, pinnable_rows(
+        workload.gpu.l2_set_aside_bytes, workload.row_bytes
+    )) if scheme.l2_pinning else None
+    drift = DriftModel(drift_per_batch=spec.drift_per_phase, seed=seed)
+    times = []
+    for phase in range(spec.n_phases):
+        result = run_table_kernel(
+            workload, dataset_spec, scheme,
+            trace=drift.apply(base_trace, phase),
+            hot_rows=hot_rows, seed=seed,
+        )
+        times.append(result.kernel_time_us)
+    return tuple(t / times[0] for t in times)
+
+
+def scaled_latency_models(
+    base_model: LatencyModel, factors: Sequence[float]
+) -> list[LatencyModel]:
+    """One latency curve per phase: the base curve scaled per factor."""
+
+    def scaled(factor: float) -> LatencyModel:
+        return lambda batch: base_model(batch) * factor
+
+    return [scaled(float(f)) for f in factors]

@@ -1,11 +1,15 @@
 """Serving-layer simulation: batching, tails, sustainable load."""
 
+import numpy as np
 import pytest
 
 from repro.core.serving import (
     BatchingPolicy,
+    ContinuousBatching,
     interpolated_latency_model,
     max_sustainable_qps,
+    resolve_percentile_field,
+    serve_stream,
     simulate_serving,
 )
 
@@ -106,3 +110,160 @@ class TestSustainableQps:
         report = simulate_serving(linear_model, qps=100, duration_s=2.0)
         assert report.meets_sla(10_000.0)
         assert not report.meets_sla(0.001)
+
+
+class TestMeetsSlaPercentiles:
+    def test_known_percentiles_and_case(self):
+        report = simulate_serving(linear_model, qps=100, duration_s=1.0)
+        for name in ("p50", "p95", "p99", "P99", "P50"):
+            assert report.meets_sla(10_000.0, name)
+
+    def test_unknown_percentile_rejected(self):
+        report = simulate_serving(linear_model, qps=100, duration_s=1.0)
+        for bad in ("p75", "mean", "p99_ms", "", "scheme_name"):
+            with pytest.raises(ValueError, match="unknown percentile"):
+                report.meets_sla(100.0, bad)
+
+    def test_non_string_percentile_rejected(self):
+        report = simulate_serving(linear_model, qps=100, duration_s=1.0)
+        with pytest.raises(ValueError, match="unknown percentile"):
+            report.meets_sla(100.0, 99)
+
+    def test_resolver_maps_fields(self):
+        assert resolve_percentile_field("p95") == "p95_ms"
+
+
+class _SteadyStream:
+    """Minimal stream for serve_stream unit tests."""
+
+    def __init__(self, times, phase_ids=None, phases=("steady",),
+                 phase_durations=None, duration_s=None):
+        self.name = "unit"
+        self.times = np.asarray(times, dtype=float)
+        self.phase_ids = (
+            np.zeros(len(times), dtype=np.int64) if phase_ids is None
+            else np.asarray(phase_ids)
+        )
+        self.phases = phases
+        self.duration_s = (
+            duration_s if duration_s is not None
+            else float(self.times[-1]) + 0.1
+        )
+        self.phase_durations = phase_durations or (self.duration_s,)
+
+
+class TestContinuousBatching:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousBatching(max_batch=0)
+        with pytest.raises(ValueError):
+            ContinuousBatching(sla_ms=0.0)
+        with pytest.raises(ValueError):
+            ContinuousBatching(sla_ms=-5.0)
+        assert "continuous" in ContinuousBatching().label
+
+    def test_dispatches_immediately_when_idle(self):
+        # 3 well-separated queries: each served alone, no formation wait
+        stream = _SteadyStream([0.0, 1.0, 2.0])
+        report = serve_stream(
+            lambda b: 10.0, stream, policy=ContinuousBatching(),
+        )
+        assert report.p99_ms == pytest.approx(10.0)
+        assert report.mean_batch_size == pytest.approx(1.0)
+
+    def test_riders_join_in_flight_formation(self):
+        # queries landing while the GPU is busy form the next batch
+        stream = _SteadyStream([0.0, 0.001, 0.002, 0.003])
+        report = serve_stream(
+            lambda b: 10.0, stream, policy=ContinuousBatching(),
+        )
+        # batch 1 = [t0]; batch 2 = the three riders at gpu_free=10ms
+        assert report.mean_batch_size == pytest.approx(2.0)
+        assert report.n_queries == 4
+
+    def test_max_batch_respected(self):
+        stream = _SteadyStream([0.0] * 10)
+        report = serve_stream(
+            lambda b: 1.0, stream, policy=ContinuousBatching(max_batch=4),
+        )
+        assert report.mean_batch_size <= 4.0
+
+    def test_sla_adaptive_sizing_prefers_in_sla_batches(self):
+        # 100 queries at t=0; exec(b) = b ms; SLA 10 ms.  A full drain
+        # (100 ms) saves nobody; goodput-greedy serves 10-sized batches
+        # while they can still hit, then drains
+        stream = _SteadyStream([0.0] * 100, duration_s=1.0)
+        exec_ms = lambda b: float(b)
+        greedy = serve_stream(
+            exec_ms, stream,
+            policy=ContinuousBatching(max_batch=100, sla_ms=10.0),
+            sla_ms=10.0,
+        )
+        blind = serve_stream(
+            exec_ms, stream,
+            policy=ContinuousBatching(max_batch=100), sla_ms=10.0,
+        )
+        assert greedy.sla_hit_pct > blind.sla_hit_pct
+
+    def test_simulate_serving_accepts_continuous_policy(self):
+        report = simulate_serving(
+            linear_model, qps=200, duration_s=2.0,
+            policy=ContinuousBatching(max_batch=64, sla_ms=50.0),
+        )
+        assert report.n_queries == 400
+        assert report.p50_ms > 0
+
+
+class TestServeStream:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            serve_stream(lambda b: 1.0, _SteadyStream([], duration_s=1.0))
+
+    def test_fixed_policy_matches_simulate_serving(self):
+        rng = np.random.default_rng(3)
+        qps, duration = 500, 2.0
+        n = int(qps * duration)
+        times = np.cumsum(rng.exponential(1.0 / qps, size=n))
+        via_stream = serve_stream(
+            linear_model,
+            _SteadyStream(times, duration_s=duration),
+            policy=BatchingPolicy(),
+        )
+        direct = simulate_serving(
+            linear_model, qps=qps, duration_s=duration, seed=3,
+        )
+        assert via_stream.p99_ms == pytest.approx(direct.p99_ms)
+        assert via_stream.mean_batch_size == pytest.approx(
+            direct.mean_batch_size
+        )
+
+    def test_goodput_counts_only_in_sla_completions(self):
+        stream = _SteadyStream([0.0, 0.0, 0.0, 0.0], duration_s=2.0)
+        # batch of 4 takes 40 ms; SLA 50 -> all good, SLA 30 -> none
+        loose = serve_stream(
+            lambda b: 10.0 * b, stream,
+            policy=ContinuousBatching(), sla_ms=50.0,
+        )
+        tight = serve_stream(
+            lambda b: 10.0 * b, stream,
+            policy=ContinuousBatching(), sla_ms=30.0,
+        )
+        assert loose.goodput_qps == pytest.approx(4 / 2.0)
+        assert tight.goodput_qps == pytest.approx(0.0)
+        assert tight.sla_hit_pct == pytest.approx(0.0)
+
+    def test_phase_stats_partition_queries(self):
+        stream = _SteadyStream(
+            [0.0, 0.5, 1.0, 1.5],
+            phase_ids=[0, 0, 1, 1],
+            phases=("a", "b"),
+            phase_durations=(1.0, 1.0),
+            duration_s=2.0,
+        )
+        report = serve_stream(
+            lambda b: 1.0, stream, policy=ContinuousBatching(),
+            sla_ms=5.0,
+        )
+        assert [p.phase for p in report.phases] == ["a", "b"]
+        assert all(p.n_queries == 2 for p in report.phases)
+        assert report.offered_qps == pytest.approx(2.0)

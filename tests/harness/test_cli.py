@@ -22,6 +22,23 @@ class TestParser:
         )
         assert args.sms == 2 and args.seed == 7
 
+    def test_scenario_profile_flag(self):
+        args = build_parser().parse_args(
+            ["run", "scenario", "--profile", "diurnal"]
+        )
+        assert args.experiment == "scenario"
+        assert args.profile == "diurnal"
+
+    def test_profile_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "scenario"])
+        assert args.profile is None
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "scenario", "--profile", "tsunami"]
+            )
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -42,3 +59,16 @@ class TestMain:
     def test_run_unknown_raises(self):
         with pytest.raises(KeyError):
             main(["run", "nope", "--sms", "1"])
+
+    def test_profile_rejected_for_other_experiments(self):
+        with pytest.raises(ValueError, match="only applies"):
+            main(["run", "tab3", "--sms", "1", "--profile", "mmpp"])
+
+    def test_run_scenario_with_profile(self, capsys):
+        assert main(
+            ["run", "scenario", "--sms", "1", "--profile", "poisson"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Scenario serving" in out
+        assert "goodput_qps" in out
+        assert "continuous" in out

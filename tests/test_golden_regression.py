@@ -1,0 +1,143 @@
+"""Golden-regression snapshots of the serving and fleet simulators.
+
+The serving engine and the routed fleet simulator are deterministic
+under a fixed seed, so their reports can be pinned as small JSON
+summaries.  Any change to the event loop, batch sizing, routing, or
+percentile math shows up here as a diff — deliberate behaviour changes
+regenerate the snapshots with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_regression.py -q
+
+and commit the updated ``tests/golden/*.json``.  Comparison is at
+relative tolerance 1e-9: tight enough to catch any real behaviour
+change, loose enough to survive benign float-library drift.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.core.serving import (
+    BatchingPolicy,
+    ContinuousBatching,
+    simulate_serving,
+)
+from repro.fleet import FleetSpec, simulate_fleet
+from repro.traffic import (
+    scenario_profile,
+    simulate_fleet_scenario,
+    simulate_scenario_serving,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") == "1"
+
+
+def _toy_model(batch: int) -> float:
+    return 10.0 + 0.01 * batch
+
+
+def _fast_toy_model(batch: int) -> float:
+    return 6.0 + 0.006 * batch
+
+
+def _serving_summary() -> dict:
+    fixed = simulate_serving(
+        _toy_model, qps=800, duration_s=5.0, seed=42,
+        policy=BatchingPolicy(max_batch=256, timeout_ms=5.0),
+    )
+    continuous = simulate_serving(
+        _toy_model, qps=800, duration_s=5.0, seed=42,
+        policy=ContinuousBatching(max_batch=256, sla_ms=30.0),
+    )
+    flash = simulate_scenario_serving(
+        scenario_profile("flash", base_qps=2500, duration_s=6.0),
+        _toy_model,
+        policy=ContinuousBatching(max_batch=256, sla_ms=30.0),
+        sla_ms=30.0,
+        seed=7,
+    )
+    return {
+        "fixed": dataclasses.asdict(fixed),
+        "continuous": dataclasses.asdict(continuous),
+        "flash_continuous": dataclasses.asdict(flash),
+    }
+
+
+def _fleet_summary() -> dict:
+    fleet = FleetSpec.mixed(
+        {A100_SXM4_80GB: 1, H100_NVL: 1}, name="golden-fleet"
+    )
+    models = {
+        A100_SXM4_80GB.name: _toy_model,
+        H100_NVL.name: _fast_toy_model,
+    }
+    poisson = simulate_fleet(
+        fleet, models, qps=3000, duration_s=3.0, policy="jsq", seed=7,
+    )
+    burst = simulate_fleet_scenario(
+        fleet, models,
+        scenario_profile("mmpp", base_qps=2000, duration_s=5.0),
+        policy="least-latency", sla_ms=40.0, seed=7,
+    )
+
+    def fleet_dict(report):
+        data = dataclasses.asdict(report)
+        data["routed_fractions"] = report.routed_fractions
+        data["utilization_balance"] = report.utilization_balance
+        return data
+
+    return {"poisson_jsq": fleet_dict(poisson),
+            "mmpp_least_latency": fleet_dict(burst)}
+
+
+def _assert_matches(actual, golden, path=""):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(golden), (
+            f"{path}: keys {sorted(actual)} != {sorted(golden)}"
+        )
+        for key in golden:
+            _assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert len(actual) == len(golden), path
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            _assert_matches(a, g, f"{path}[{i}]")
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=1e-9, abs=1e-12), (
+            f"{path}: {actual} != {golden}"
+        )
+    else:
+        assert actual == golden, f"{path}: {actual!r} != {golden!r}"
+
+
+def _tuples_to_lists(obj):
+    if isinstance(obj, dict):
+        return {k: _tuples_to_lists(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_tuples_to_lists(v) for v in obj]
+    return obj
+
+
+@pytest.mark.parametrize("name, build", [
+    ("serving", _serving_summary),
+    ("fleet", _fleet_summary),
+])
+def test_golden_snapshot(name, build):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    summary = _tuples_to_lists(build())
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(summary, indent=2) + "\n")
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; run with "
+        "REPRO_REGEN_GOLDEN=1 to create it"
+    )
+    golden = json.loads(golden_path.read_text())
+    _assert_matches(summary, golden)

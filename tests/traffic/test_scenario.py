@@ -1,0 +1,156 @@
+"""Scenario generation: shapes, phases, seeding, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    SCENARIO_PROFILES,
+    DiurnalSpec,
+    DriftSpec,
+    FlashCrowdSpec,
+    MMPPSpec,
+    StationarySpec,
+    generate_arrivals,
+    iter_arrivals,
+    scenario_profile,
+)
+
+
+class TestBitReproducibility:
+    @pytest.mark.parametrize("profile", SCENARIO_PROFILES)
+    def test_same_seed_identical_stream(self, profile):
+        spec = scenario_profile(profile, base_qps=2000, duration_s=4.0)
+        a = generate_arrivals(spec, seed=3)
+        b = generate_arrivals(spec, seed=3)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.phase_ids, b.phase_ids)
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("profile", SCENARIO_PROFILES)
+    def test_different_seed_different_stream(self, profile):
+        spec = scenario_profile(profile, base_qps=2000, duration_s=4.0)
+        assert (
+            generate_arrivals(spec, seed=0).fingerprint()
+            != generate_arrivals(spec, seed=1).fingerprint()
+        )
+
+    def test_iter_matches_generate(self):
+        spec = scenario_profile("flash", base_qps=800, duration_s=2.0)
+        trace = generate_arrivals(spec, seed=5)
+        arrivals = list(iter_arrivals(spec, seed=5))
+        assert len(arrivals) == trace.n_arrivals
+        assert arrivals[0].t == pytest.approx(float(trace.times[0]))
+        assert arrivals[-1].phase == trace.phases[int(trace.phase_ids[-1])]
+
+
+class TestTraceStructure:
+    @pytest.mark.parametrize("profile", SCENARIO_PROFILES)
+    def test_sorted_within_horizon_and_labelled(self, profile):
+        spec = scenario_profile(profile, base_qps=3000, duration_s=4.0)
+        trace = generate_arrivals(spec, seed=0)
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times[0] >= 0.0
+        assert trace.times[-1] < spec.duration_s
+        assert trace.phase_ids.min() >= 0
+        assert trace.phase_ids.max() < len(trace.phases)
+
+    @pytest.mark.parametrize("profile", SCENARIO_PROFILES)
+    def test_phase_durations_cover_run(self, profile):
+        spec = scenario_profile(profile, base_qps=1000, duration_s=5.0)
+        trace = generate_arrivals(spec, seed=0)
+        assert sum(trace.phase_durations) == pytest.approx(
+            spec.duration_s, rel=1e-6
+        )
+
+    def test_mean_rate_tracks_spec(self):
+        spec = StationarySpec(base_qps=5000, duration_s=8.0)
+        trace = generate_arrivals(spec, seed=0)
+        assert trace.mean_qps == pytest.approx(5000, rel=0.05)
+
+
+class TestShapes:
+    def test_diurnal_peak_beats_trough(self):
+        spec = DiurnalSpec(base_qps=4000, duration_s=8.0, amplitude=0.8)
+        trace = generate_arrivals(spec, seed=0)
+        by_phase = {
+            name: int((trace.phase_ids == i).sum())
+            / trace.phase_durations[i]
+            for i, name in enumerate(trace.phases)
+        }
+        assert by_phase["peak"] > by_phase["shoulder"] > by_phase["trough"]
+        assert spec.peak_rate() == pytest.approx(4000 * 1.8)
+
+    def test_flash_spike_rate_dwarfs_baseline(self):
+        spec = FlashCrowdSpec(
+            base_qps=1000, duration_s=6.0, spike_at_s=2.0,
+            magnitude=10.0, ramp_s=0.2, decay_s=0.5,
+        )
+        trace = generate_arrivals(spec, seed=0)
+        rate = {
+            name: int((trace.phase_ids == i).sum())
+            / trace.phase_durations[i]
+            for i, name in enumerate(trace.phases)
+        }
+        assert rate["spike"] > 4 * rate["pre"]
+        # before the spike hits, the process is the plain baseline
+        assert rate["pre"] == pytest.approx(1000, rel=0.1)
+
+    def test_flash_rate_function(self):
+        spec = FlashCrowdSpec(
+            base_qps=1000, duration_s=6.0, spike_at_s=2.0,
+            magnitude=8.0, ramp_s=0.5, decay_s=1.0,
+        )
+        assert float(spec.rate(1.0)) == pytest.approx(1000.0)
+        assert float(spec.rate(2.5)) == pytest.approx(8000.0)
+        assert float(spec.rate(6.0)) < 8000.0
+
+    def test_mmpp_burst_rate_exceeds_calm(self):
+        spec = MMPPSpec(
+            base_qps=1000, duration_s=10.0, burst_multiplier=6.0,
+            mean_calm_s=1.0, mean_burst_s=0.5,
+        )
+        trace = generate_arrivals(spec, seed=2)
+        calm_n = int((trace.phase_ids == 0).sum())
+        burst_n = int((trace.phase_ids == 1).sum())
+        calm_rate = calm_n / trace.phase_durations[0]
+        burst_rate = burst_n / trace.phase_durations[1]
+        assert burst_rate > 3 * calm_rate
+        assert calm_rate == pytest.approx(1000, rel=0.2)
+
+    def test_drift_phases_partition_run(self):
+        spec = DriftSpec(base_qps=1000, duration_s=8.0, n_phases=4)
+        trace = generate_arrivals(spec, seed=0)
+        assert trace.phases == ("drift0", "drift1", "drift2", "drift3")
+        assert all(
+            d == pytest.approx(2.0, rel=1e-6)
+            for d in trace.phase_durations
+        )
+        # arrival counts roughly even across phases (stationary process)
+        counts = [int((trace.phase_ids == i).sum()) for i in range(4)]
+        assert max(counts) < 1.25 * min(counts)
+
+
+class TestValidation:
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            StationarySpec(base_qps=0)
+        with pytest.raises(ValueError):
+            StationarySpec(base_qps=100, duration_s=0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalSpec(amplitude=1.5)
+        with pytest.raises(ValueError):
+            FlashCrowdSpec(duration_s=4.0, spike_at_s=9.0)
+        with pytest.raises(ValueError):
+            FlashCrowdSpec(magnitude=0.5)
+        with pytest.raises(ValueError):
+            MMPPSpec(burst_multiplier=1.0)
+        with pytest.raises(ValueError):
+            DriftSpec(n_phases=0)
+        with pytest.raises(ValueError):
+            DriftSpec(drift_per_phase=1.5)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario profile"):
+            scenario_profile("tsunami")
