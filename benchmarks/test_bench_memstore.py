@@ -1,0 +1,53 @@
+"""Memstore guardrails: hit rate vs HBM-cache capacity, p99 vs fraction.
+
+Two perf-smoke invariants of the tiered embedding store:
+
+* for every admission/eviction policy, hit rate is monotone
+  non-decreasing as the HBM cache grows (the stack property of the
+  priority-cache design) — printed as a sweep table;
+* the end-to-end `memstore` experiment's p99 improves monotonically
+  (within noise) as the resident fraction grows, i.e. host-DRAM
+  fetches actually leave the critical path.
+"""
+
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.memstore import CACHE_POLICIES, HostLink, store_for_spec
+
+_FRACTIONS = (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+_LINK = HostLink("pcie", 25.0, 10.0)
+
+
+def test_hit_rate_vs_capacity_sweep():
+    spec = HOTNESS_PRESETS["med_hot"]
+    kwargs = dict(batch_size=128, pooling_factor=50, table_rows=16384)
+    trace = generate_trace(spec, seed=5, **kwargs)
+
+    print()
+    header = "policy      " + "".join(f"  f={f:<6g}" for f in _FRACTIONS)
+    print(header)
+    for policy in sorted(CACHE_POLICIES):
+        rates = []
+        for fraction in _FRACTIONS:
+            store = store_for_spec(
+                spec, row_bytes=512, hbm_fraction=fraction,
+                link=_LINK, policy=policy, seed=5, **kwargs,
+            )
+            rates.append(store.lookup(trace).hit_rate)
+        print(f"{policy:<12}" + "".join(f"  {r:<8.3f}" for r in rates))
+        assert all(b >= a for a, b in zip(rates, rates[1:])), (
+            f"{policy}: hit rate not monotone in capacity: {rates}"
+        )
+        assert rates[-1] == 1.0  # fully resident: every access hits
+
+
+def test_memstore_experiment_p99_monotone(regenerate):
+    table = regenerate("memstore")
+    sweep = [r for r in table.rows if r["part"] == "hbm-sweep"]
+    p99s = [r["p99_ms"] for r in sweep]
+    # monotone within 2% noise, and the ends are far apart: a small
+    # cache is tail-dominated by host fetches, a full one is not
+    assert all(b <= a * 1.02 for a, b in zip(p99s, p99s[1:])), p99s
+    assert p99s[0] > 2.0 * p99s[-1]
+    goodputs = [r["goodput_qps"] for r in sweep]
+    assert goodputs[-1] >= max(goodputs) * 0.99

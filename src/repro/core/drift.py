@@ -20,11 +20,11 @@ import numpy as np
 
 from repro.core.embedding import KernelWorkload, run_table_kernel
 from repro.core.schemes import Scheme
-from repro.datasets.analysis import top_hot_rows
 from repro.datasets.generator import generate_trace
 from repro.datasets.spec import DatasetSpec
 from repro.datasets.trace import EmbeddingTrace
 from repro.kernels.pinning import pinnable_rows
+from repro.memstore.policy import popular_rows
 
 
 @dataclass(frozen=True)
@@ -152,14 +152,14 @@ def serve_with_drift(
     k = pinnable_rows(
         workload.gpu.l2_set_aside_bytes, workload.row_bytes
     )
-    hot_rows = top_hot_rows(base_trace, k)
+    hot_rows = popular_rows(base_trace, k)
 
     for step in range(n_batches):
         trace = drift.apply(base_trace, step)
         repinned = False
         if repin_every is not None and step > 0 and step % repin_every == 0:
             # re-profile on the *previous* batch's pattern (online view)
-            hot_rows = top_hot_rows(drift.apply(base_trace, step - 1), k)
+            hot_rows = popular_rows(drift.apply(base_trace, step - 1), k)
             repinned = True
         result = run_table_kernel(
             workload, spec, scheme,

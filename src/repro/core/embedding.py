@@ -8,6 +8,7 @@ and get back the paper's metrics for that configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.kernels.pinning import (
     simulate_pin_kernel,
 )
 from repro.kernels.registry import build_trace
+from repro.memstore.store import EmbeddingStore, TierStats
 
 
 @dataclass(frozen=True)
@@ -106,7 +108,13 @@ _LOWERING_FP: dict | None = None
 
 @dataclass(frozen=True)
 class TableKernelResult:
-    """One table's kernel execution under one scheme."""
+    """One table's kernel execution under one scheme.
+
+    When the table is served from a tiered
+    :class:`~repro.memstore.store.EmbeddingStore`, ``tier_stats``
+    carries the HBM hit/miss accounting and ``total_time_us`` adds the
+    host-fetch time the misses cost ahead of the kernel.
+    """
 
     scheme: Scheme
     dataset: str
@@ -115,10 +123,21 @@ class TableKernelResult:
     pinned_lines: int
     pin_coverage: float
     pin_kernel_us: float
+    tier_stats: TierStats | None = None
 
     @property
     def kernel_time_us(self) -> float:
         return self.profile.kernel_time_us
+
+    @property
+    def host_fetch_us(self) -> float:
+        """Host-DRAM fetch time for HBM-cache misses (0 if fully resident)."""
+        return self.tier_stats.host_fetch_us if self.tier_stats else 0.0
+
+    @property
+    def total_time_us(self) -> float:
+        """Kernel time plus the host-tier gather serialized ahead of it."""
+        return self.kernel_time_us + self.host_fetch_us
 
 
 def run_table_kernel(
@@ -131,11 +150,19 @@ def run_table_kernel(
     hot_rows: np.ndarray | None = None,
     time_pin_kernel: bool = False,
     memo: KernelMemo | None = None,
+    store: EmbeddingStore | None = None,
 ) -> TableKernelResult:
     """Simulate one embedding table's kernel under a scheme.
 
     ``trace``/``hot_rows`` can be supplied to reuse work across sweeps;
     by default they are generated from ``spec`` deterministically.
+
+    ``store`` makes the table *tiered*: the trace's accesses are
+    replayed against the store's HBM cache and the misses' host-fetch
+    time lands in the result (``tier_stats`` / ``total_time_us``).  The
+    kernel simulation itself is unchanged — fetched rows are staged
+    into HBM before launch, so the fetch composes serially with the
+    (memoized) kernel time and the memo stays tier-agnostic.
 
     The simulation itself is memoized: the engine is deterministic, so
     its raw result is a pure function of the launch content, and
@@ -210,6 +237,7 @@ def run_table_kernel(
                 pinned_lines=cached.pinned_lines,
                 pin_coverage=cached.pin_coverage,
                 pin_kernel_us=cached.pin_kernel_us,
+                tier_stats=store.lookup(trace) if store else None,
             )
 
     if scheme.l2_pinning and hot_rows is None:
@@ -280,6 +308,7 @@ def run_table_kernel(
         pinned_lines=pinned_lines,
         pin_coverage=pin_cov,
         pin_kernel_us=pin_us,
+        tier_stats=store.lookup(trace) if store else None,
     )
 
 
@@ -298,13 +327,37 @@ class EmbeddingStageResult:
 
     @property
     def total_time_us(self) -> float:
-        """Tables run serially on the GPU (paper Section II-A)."""
+        """Tables run serially on the GPU (paper Section II-A); tiered
+        tables additionally pay their host-fetch time per launch."""
         total = 0.0
         for name, count in self.mix.items():
             total += count * (
-                self.per_table[name].kernel_time_us + self.launch_overhead_us
+                self.per_table[name].total_time_us + self.launch_overhead_us
             )
         return total
+
+    @property
+    def host_fetch_us(self) -> float:
+        """Host-DRAM fetch time across the stage (0 if nothing is tiered)."""
+        return sum(
+            count * self.per_table[name].host_fetch_us
+            for name, count in self.mix.items()
+        )
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Access-weighted HBM hit rate over tiered tables (None if none)."""
+        tiered = [
+            (count, self.per_table[name].tier_stats)
+            for name, count in self.mix.items()
+            if self.per_table[name].tier_stats is not None
+        ]
+        if not tiered:
+            return None
+        accesses = sum(c * s.n_accesses for c, s in tiered)
+        if accesses == 0:
+            return 1.0
+        return sum(c * s.hits for c, s in tiered) / accesses
 
 
 def run_embedding_stage(
@@ -314,12 +367,17 @@ def run_embedding_stage(
     *,
     seed: int = 0,
     memo: KernelMemo | None = None,
+    stores: Mapping[str, EmbeddingStore] | None = None,
 ) -> EmbeddingStageResult:
     """Simulate the embedding stage for a (possibly heterogeneous) mix
     of tables, e.g. ``{"high_hot": 100, "med_hot": 75, ...}`` (Table VII).
 
     Tables of the same hotness are statistically identical, so one
     representative kernel per dataset is simulated and weighted by count.
+
+    ``stores`` maps dataset names to tiered
+    :class:`~repro.memstore.store.EmbeddingStore` instances; tables
+    with a store pay their HBM-miss host-fetch time in the stage total.
     """
     if not mix:
         raise ValueError("table mix is empty")
@@ -329,7 +387,8 @@ def run_embedding_stage(
             raise ValueError(f"table count for {name!r} must be positive")
         spec = HOTNESS_PRESETS[name]
         per_table[name] = run_table_kernel(
-            workload, spec, scheme, seed=seed, memo=memo
+            workload, spec, scheme, seed=seed, memo=memo,
+            store=stores.get(name) if stores else None,
         )
     return EmbeddingStageResult(
         scheme=scheme,

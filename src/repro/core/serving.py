@@ -136,7 +136,10 @@ class PhaseStats:
 
     ``goodput_qps`` counts queries that completed within the SLA per
     second of phase wall time; with no SLA given every completion
-    counts.
+    counts.  ``hit_rate`` is the phase's HBM-cache hit rate when the
+    workload is served from a tiered embedding store (None otherwise) —
+    this is how popularity-drift scenarios surface cache decay and
+    refresh recovery per phase.
     """
 
     phase: str
@@ -146,6 +149,7 @@ class PhaseStats:
     p99_ms: float
     goodput_qps: float
     sla_hit_pct: float
+    hit_rate: float | None = None
 
 
 def phase_breakdown(
@@ -154,13 +158,22 @@ def phase_breakdown(
     phase_names: Sequence[str],
     phase_durations: Sequence[float],
     sla_ms: float | None,
+    *,
+    phase_hit_rates: Sequence[float] | None = None,
 ) -> tuple[PhaseStats, ...]:
     """Per-phase tails and goodput over per-query latencies.
 
     Shared by the single-GPU stream server and the routed fleet so the
     two per-phase reports can never drift apart.  Phases with no
-    queries are omitted.
+    queries are omitted.  ``phase_hit_rates`` (indexed like
+    ``phase_names``) attaches memstore HBM hit rates to the phases.
     """
+    if phase_hit_rates is not None and \
+            len(phase_hit_rates) != len(phase_names):
+        raise ValueError(
+            f"{len(phase_hit_rates)} hit rates for "
+            f"{len(phase_names)} phases"
+        )
     within = (
         latencies_ms <= sla_ms if sla_ms is not None
         else np.ones(len(latencies_ms), dtype=bool)
@@ -181,6 +194,10 @@ def phase_breakdown(
             p99_ms=float(np.percentile(lat, 99)),
             goodput_qps=good / span if span > 0 else 0.0,
             sla_hit_pct=100.0 * good / count,
+            hit_rate=(
+                float(phase_hit_rates[pid])
+                if phase_hit_rates is not None else None
+            ),
         ))
     return tuple(stats)
 
@@ -198,7 +215,11 @@ def find_phase(
 
 @dataclass(frozen=True)
 class StreamReport:
-    """One serving run over an arrival stream, with per-phase detail."""
+    """One serving run over an arrival stream, with per-phase detail.
+
+    ``hit_rate`` is the query-weighted HBM-cache hit rate across phases
+    when the run was served from a tiered embedding store.
+    """
 
     scenario: str
     scheme_name: str
@@ -214,6 +235,7 @@ class StreamReport:
     mean_batch_size: float
     gpu_utilization: float
     phases: tuple[PhaseStats, ...]
+    hit_rate: float | None = None
 
     def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
         return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
@@ -404,6 +426,7 @@ def serve_stream(
     policy: BatchingPolicy | ContinuousBatching | None = None,
     sla_ms: float | None = None,
     scheme_name: str = "scheme",
+    phase_hit_rates: Sequence[float] | None = None,
 ) -> StreamReport:
     """Serve one arrival stream on one GPU and report per-phase tails.
 
@@ -411,7 +434,9 @@ def serve_stream(
     shape: ``name``, time-sorted ``times`` (seconds), ``phase_ids``,
     ``phases`` (names), ``phase_durations`` and ``duration_s``.  The
     default policy is :class:`ContinuousBatching` with its batch sizing
-    adapted to ``sla_ms``.
+    adapted to ``sla_ms``.  ``phase_hit_rates`` (one HBM-cache hit rate
+    per phase, from a tiered memstore calibration) is threaded into the
+    per-phase stats and aggregated query-weighted into the report.
     """
     if len(stream.times) == 0:
         raise ValueError(f"arrival stream {stream.name!r} is empty")
@@ -435,7 +460,14 @@ def serve_stream(
     phase_stats = phase_breakdown(
         latencies_ms, phase_ids, tuple(stream.phases),
         tuple(stream.phase_durations), sla_ms,
+        phase_hit_rates=phase_hit_rates,
     )
+    hit_rate = None
+    if phase_hit_rates is not None:
+        # the stream is non-empty (checked above), so counts.sum() >= 1
+        counts = np.bincount(phase_ids, minlength=len(stream.phases))
+        rates = np.asarray(phase_hit_rates, dtype=float)
+        hit_rate = float((rates * counts).sum() / counts.sum())
     horizon = max(gpu_free, float(times[-1]), stream.duration_s)
     return StreamReport(
         scenario=stream.name,
@@ -452,6 +484,7 @@ def serve_stream(
         mean_batch_size=float(np.mean(batch_sizes)),
         gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
         phases=phase_stats,
+        hit_rate=hit_rate,
     )
 
 

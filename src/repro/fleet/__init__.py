@@ -13,13 +13,18 @@ from repro.fleet.capacity import (
     fleet_max_sustainable_qps,
     linear_latency_model,
     replicas_needed,
+    tiered_fleet_models,
+    tiered_latency_model,
 )
 from repro.fleet.placement import (
     HeteroPlacement,
     HeteroShard,
+    TieredPlacement,
+    TieredShard,
     hetero_lpt_shard,
     measure_table_times,
     place_tables,
+    place_tables_tiered,
 )
 from repro.fleet.report import (
     FleetReport,
@@ -56,6 +61,8 @@ __all__ = [
     "ReplicaSpec",
     "RoundRobinPolicy",
     "RoutingPolicy",
+    "TieredPlacement",
+    "TieredShard",
     "autoscaler_sweep",
     "build_fleet_report",
     "calibrated_latency_model",
@@ -65,8 +72,11 @@ __all__ = [
     "measure_table_times",
     "phase_breakdown",
     "place_tables",
+    "place_tables_tiered",
     "replicas_needed",
     "resolve_policy",
     "simulate_fleet",
     "simulate_fleet_stream",
+    "tiered_fleet_models",
+    "tiered_latency_model",
 ]

@@ -96,6 +96,65 @@ def calibrated_latency_model(
     return interpolated_latency_model(batch_sizes, points)
 
 
+def tiered_latency_model(
+    base_model: LatencyModel,
+    *,
+    host_us_per_query: float,
+) -> LatencyModel:
+    """Wrap a batch-latency curve with the host-tier fetch cost.
+
+    ``host_us_per_query`` comes from a memstore calibration — e.g. a
+    :class:`~repro.fleet.placement.TieredShard`'s per-query host time,
+    or a :class:`~repro.memstore.store.TierStats` divided by its batch.
+    HBM-miss traffic is bandwidth-bound and per-batch link latency is
+    second-order, so the penalty scales linearly in batch size — the
+    same shape assumption :func:`linear_latency_model` makes for the
+    embedding stage itself.  A fully-resident plan has
+    ``host_us_per_query == 0`` and returns the base curve unchanged.
+    """
+    if host_us_per_query < 0:
+        raise ValueError("host_us_per_query must be >= 0")
+    if host_us_per_query == 0:
+        return base_model
+
+    def latency_ms(batch: int) -> float:
+        return base_model(batch) + host_us_per_query * batch / 1e3
+
+    return latency_ms
+
+
+def tiered_fleet_models(
+    latency_models: Mapping[str, LatencyModel],
+    placement,
+) -> dict[str, LatencyModel]:
+    """Apply a :class:`~repro.fleet.placement.TieredPlacement`'s host
+    penalties to per-GPU batch-latency curves.
+
+    Each GPU name's curve is wrapped with the worst per-query host time
+    of the shards it hosts (conservative when one GPU type holds
+    several shards); GPUs without shards pass through unchanged, and a
+    shard whose GPU has no curve raises — the host penalty must never
+    silently drop out of an over-HBM simulation.  The result feeds any
+    planner or router entry point unchanged — this is how an over-HBM
+    model still yields end-to-end p99/goodput numbers.
+    """
+    worst: dict[str, float] = {}
+    for shard in placement.shards:
+        worst[shard.gpu_name] = max(
+            worst.get(shard.gpu_name, 0.0), shard.host_us_per_query
+        )
+    missing = sorted(set(worst) - set(latency_models))
+    if missing:
+        raise KeyError(
+            f"no latency model for placed GPUs {missing}; "
+            f"known: {sorted(latency_models)}"
+        )
+    out = dict(latency_models)
+    for name, host in worst.items():
+        out[name] = tiered_latency_model(out[name], host_us_per_query=host)
+    return out
+
+
 def linear_latency_model(
     gpu: GpuSpec,
     *,

@@ -9,6 +9,14 @@ machines setting (greedy minimum-completion-time, the classic 2-approx
 heuristic production placers use): each table instance — longest first
 by its average cost — goes to the GPU that would finish it earliest
 given that GPU's own measured per-table kernel times.
+
+With the memstore tier (:func:`place_tables_tiered`), "does it fit?"
+stops being a constraint and becomes a cost: each assigned table splits
+into an HBM-resident fraction (set by the GPU's capacity budget) and a
+host-DRAM remainder whose misses are fetched over the GPU's PCIe link,
+and LPT balances on *effective* per-GPU time — kernel time plus the
+host-fetch time that GPU's cache fraction implies.  Models bigger than
+aggregate HBM place instead of failing.
 """
 
 from __future__ import annotations
@@ -19,10 +27,16 @@ from typing import Mapping, Sequence
 from repro.config.gpu import GpuSpec
 from repro.config.model import PAPER_MODEL, DLRMConfig
 from repro.config.scale import SimScale
-from repro.core.embedding import kernel_workload, run_table_kernel
+from repro.core.embedding import (
+    KernelWorkload,
+    kernel_workload,
+    run_table_kernel,
+)
 from repro.core.schemes import Scheme
+from repro.datasets.generator import generate_trace
 from repro.datasets.spec import HOTNESS_PRESETS
 from repro.dlrm.timing import KERNEL_LAUNCH_US
+from repro.memstore.store import HostLink, store_for_spec
 
 #: gpu name -> table (dataset) name -> measured kernel time in us.
 TableTimes = Mapping[str, Mapping[str, float]]
@@ -161,4 +175,206 @@ def place_tables(
             )
             for i, tables in enumerate(placement)
         )
+    )
+
+
+# ----------------------------------------------------------------------
+# tiered placement: resident fraction + host remainder per table
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TieredShard:
+    """One GPU's tables, split between its HBM budget and host DRAM."""
+
+    gpu_name: str
+    tables: tuple[str, ...]
+    compute_us: float
+    host_us: float
+    host_us_per_query: float
+    hbm_fraction: float
+    resident_bytes: int
+    host_bytes: int
+
+    @property
+    def effective_us(self) -> float:
+        """Per-batch time including host fetches — what LPT balances."""
+        return self.compute_us + self.host_us
+
+
+@dataclass(frozen=True)
+class TieredPlacement:
+    """A fleet-level tiered placement: every table placed, split or not."""
+
+    shards: tuple[TieredShard, ...]
+    fits_in_hbm: bool
+    hbm_utilization: float
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.shards)
+
+    @property
+    def critical_path_us(self) -> float:
+        return max(s.effective_us for s in self.shards)
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean per-GPU *effective* time (1.0 = balanced)."""
+        times = [s.effective_us for s in self.shards]
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean else 1.0
+
+    @property
+    def total_host_bytes(self) -> int:
+        """Embedding bytes spilled to host DRAM across the fleet."""
+        return sum(s.host_bytes for s in self.shards)
+
+    def tables_on(self, gpu_name: str) -> int:
+        return sum(
+            len(s.tables) for s in self.shards if s.gpu_name == gpu_name
+        )
+
+
+class _HostCostModel:
+    """Memoized host-fetch-time estimator per (GPU, dataset, fraction).
+
+    Prices one table's HBM misses at a given resident fraction: a store
+    is warmed from the dataset's popularity profile and an evaluation
+    trace is replayed against it, all at the placement's simulation
+    scale (the PCIe link bandwidth scales with the chip slice, exactly
+    like HBM does in :meth:`GpuSpec.scaled_slice`).
+    """
+
+    def __init__(
+        self,
+        workloads: Mapping[str, KernelWorkload],
+        policy: str,
+        seed: int,
+    ) -> None:
+        self._workloads = workloads
+        self._policy = policy
+        self._seed = seed
+        self._traces: dict[tuple[str, str], object] = {}
+        self._cache: dict[tuple[str, str, int], float] = {}
+
+    def _trace(self, gpu_name: str, dataset: str):
+        key = (gpu_name, dataset)
+        if key not in self._traces:
+            w = self._workloads[gpu_name]
+            self._traces[key] = generate_trace(
+                HOTNESS_PRESETS[dataset],
+                batch_size=w.batch_size,
+                pooling_factor=w.pooling_factor,
+                table_rows=w.table_rows,
+                seed=self._seed,
+            )
+        return self._traces[key]
+
+    def host_us(self, gpu_name: str, dataset: str, fraction: float) -> float:
+        w = self._workloads[gpu_name]
+        resident = int(round(fraction * w.table_rows))
+        key = (gpu_name, dataset, resident)
+        if key not in self._cache:
+            store = store_for_spec(
+                HOTNESS_PRESETS[dataset],
+                batch_size=w.batch_size,
+                pooling_factor=w.pooling_factor,
+                table_rows=w.table_rows,
+                row_bytes=w.row_bytes,
+                hbm_fraction=min(1.0, max(0.0, fraction)),
+                link=HostLink.pcie(w.full_gpu).scaled(w.factor),
+                policy=self._policy,
+                seed=self._seed,
+            )
+            self._cache[key] = store.lookup(
+                self._trace(gpu_name, dataset)
+            ).host_fetch_us
+        return self._cache[key]
+
+
+def place_tables_tiered(
+    mix: Mapping[str, int],
+    scheme: Scheme,
+    gpus: Sequence[GpuSpec],
+    *,
+    model: DLRMConfig = PAPER_MODEL,
+    hbm_utilization: float = 0.9,
+    policy: str = "static_hot",
+    num_sms: int = 2,
+    seed: int = 0,
+    table_times: TableTimes | None = None,
+) -> TieredPlacement:
+    """Place a mix whose total bytes may exceed aggregate HBM.
+
+    Two passes: tables are LPT-placed on *effective* per-table times
+    (kernel time plus host-fetch time at the fleet-wide average cache
+    fraction), then each GPU's actual resident fraction is settled from
+    its own HBM budget (``hbm_bytes * hbm_utilization``) against the
+    bytes it was assigned, and shard times are re-priced at that
+    fraction.  A fleet with enough HBM degenerates to fully-resident
+    shards with zero host time (and ``fits_in_hbm=True``).
+    """
+    if not 0.0 < hbm_utilization <= 1.0:
+        raise ValueError("hbm_utilization must be in (0, 1]")
+    if not gpus:
+        raise ValueError("need at least one GPU")
+    if not any(count > 0 for count in mix.values()):
+        raise ValueError("table mix is empty")
+    if table_times is None:
+        table_times = measure_table_times(
+            mix, scheme, gpus, model=model, num_sms=num_sms, seed=seed
+        )
+    scale = SimScale(name=f"placement{num_sms}", num_sms=num_sms)
+    workloads = {
+        gpu.name: kernel_workload(gpu, model, scale)
+        for gpu in {g.name: g for g in gpus}.values()
+    }
+    costs = _HostCostModel(workloads, policy, seed)
+
+    table_bytes = model.table.table_bytes
+    total_bytes = sum(mix.values()) * table_bytes
+    budgets = [gpu.hbm_bytes * hbm_utilization for gpu in gpus]
+    f0 = min(1.0, sum(budgets) / total_bytes)
+
+    gpu_names = [gpu.name for gpu in gpus]
+    effective = {
+        name: {
+            dataset: table_times[name][dataset]
+            + costs.host_us(name, dataset, f0)
+            for dataset in mix
+        }
+        for name in set(gpu_names)
+    }
+    assignment = hetero_lpt_shard(effective, mix, gpu_names)
+
+    shards = []
+    fits = True
+    for i, tables in enumerate(assignment):
+        gpu = gpus[i]
+        assigned_bytes = len(tables) * table_bytes
+        fraction = (
+            1.0 if assigned_bytes == 0
+            else min(1.0, budgets[i] / assigned_bytes)
+        )
+        if fraction < 1.0:
+            fits = False
+        host = sum(costs.host_us(gpu.name, t, fraction) for t in tables)
+        resident = int(round(fraction * assigned_bytes))
+        shards.append(TieredShard(
+            gpu_name=gpu.name,
+            tables=tuple(tables),
+            compute_us=sum(table_times[gpu.name][t] for t in tables),
+            host_us=host,
+            # proportional slicing keeps per-batch time invariant (host
+            # bytes and link bandwidth both scale with the slice), so
+            # the slice's per-batch host time corresponds to the FULL
+            # model batch — divide by that, not the sliced batch
+            host_us_per_query=host / model.batch_size,
+            hbm_fraction=fraction,
+            resident_bytes=resident,
+            host_bytes=assigned_bytes - resident,
+        ))
+    return TieredPlacement(
+        shards=tuple(shards),
+        fits_in_hbm=fits,
+        hbm_utilization=hbm_utilization,
     )

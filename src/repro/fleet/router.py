@@ -302,6 +302,7 @@ def simulate_fleet_stream(
     policy: str | RoutingPolicy = "jsq",
     sla_ms: float | None = None,
     seed: int = 0,
+    phase_hit_rates: Sequence[float] | None = None,
 ) -> FleetReport:
     """A routed fleet serving one scenario stream, with per-phase tails.
 
@@ -311,6 +312,8 @@ def simulate_fleet_stream(
     how routing policies get evaluated *inside* a burst or a drift
     window instead of on the run average.  ``seed`` only drives the
     router's sampling policies (the stream is already materialized).
+    ``phase_hit_rates`` (one memstore HBM hit rate per phase) is
+    threaded into the per-phase breakdown.
     """
     times = np.asarray(stream.times, dtype=float)
     if len(times) == 0:
@@ -340,6 +343,7 @@ def simulate_fleet_stream(
         phases=phase_breakdown(
             all_latencies_ms, all_phases, tuple(stream.phases),
             tuple(stream.phase_durations), sla_ms,
+            phase_hit_rates=phase_hit_rates,
         ),
     )
 

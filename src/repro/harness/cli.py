@@ -64,6 +64,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{exp_id:8s} {desc}")
         return 0
 
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(
+            f"error: unknown experiment {args.experiment!r}; "
+            f"choose from: {known}, all",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile is not None and args.experiment not in (
+        "scenario", "all"
+    ):
+        print(
+            "error: --profile only applies to the scenario experiment, "
+            f"not {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
+
     memo = KernelMemo(disk_dir=args.memo_dir) if args.memo_dir else None
     if memo is not None:
         # also make it the process default so library code that never
@@ -76,11 +94,8 @@ def main(argv: list[str] | None = None) -> int:
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:
         start = time.perf_counter()
-        # a single named experiment sees the flag (and rejects it if it
-        # takes no profile); under 'all' it applies to 'scenario' only
-        profile = args.profile if (
-            args.experiment != "all" or exp_id == "scenario"
-        ) else None
+        # --profile was validated above: it can only reach 'scenario'
+        profile = args.profile if exp_id == "scenario" else None
         table = run_experiment(exp_id, ctx, profile=profile)
         elapsed = time.perf_counter() - start
         print(table.render())

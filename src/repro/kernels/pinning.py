@@ -21,15 +21,27 @@ from typing import Iterator
 import numpy as np
 
 from repro.config.gpu import CACHE_LINE_BYTES, GpuSpec
-from repro.datasets.analysis import top_hot_rows
-from repro.datasets.spec import DatasetSpec
-from repro.datasets.generator import generate_trace
 from repro.datasets.trace import EmbeddingTrace
 from repro.gpusim.engine import RawKernelStats, run_kernel
 from repro.gpusim.hierarchy import MemoryHierarchy
 from repro.gpusim.isa import OP_ALU, OP_PREFETCH_L2
 from repro.gpusim.trace import CompiledTrace, TraceBuilder
 from repro.kernels.address_map import AddressMap
+# The offline hot-row profiling (step 1 of Fig. 10) lives in the shared
+# policy module now — memstore admission, drift re-pinning and L2P all
+# rank popularity the same way.  Re-exported under its historic name.
+from repro.memstore.policy import profile_hot_rows
+
+__all__ = [
+    "build_pin_kernel_programs",
+    "build_pin_kernel_trace",
+    "hot_row_lines",
+    "pin_hot_rows",
+    "pinnable_rows",
+    "pinned_coverage",
+    "profile_hot_rows",
+    "simulate_pin_kernel",
+]
 
 _LINE_SHIFT = CACHE_LINE_BYTES.bit_length() - 1
 
@@ -40,28 +52,6 @@ _PIN_LOOP_ALU = 4
 def pinnable_rows(set_aside_bytes: int, row_bytes: int) -> int:
     """How many embedding vectors fit in the L2 set-aside."""
     return set_aside_bytes // row_bytes
-
-
-def profile_hot_rows(
-    spec: DatasetSpec,
-    *,
-    batch_size: int,
-    pooling_factor: int,
-    table_rows: int,
-    k: int,
-    seed: int = 0,
-) -> np.ndarray:
-    """Offline profiling: draw a calibration trace from the dataset's
-    distribution and return its top-``k`` rows.  Uses a seed offset so
-    the profiled trace differs from any trace being timed."""
-    calib = generate_trace(
-        spec,
-        batch_size=batch_size,
-        pooling_factor=pooling_factor,
-        table_rows=table_rows,
-        seed=seed + 104_729,
-    )
-    return top_hot_rows(calib, k)
 
 
 def hot_row_lines(rows: np.ndarray, amap: AddressMap) -> list[int]:

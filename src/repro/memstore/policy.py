@@ -1,0 +1,273 @@
+"""Shared popularity profiling and HBM-cache admission/eviction policies.
+
+Every consumer of "which rows are hot?" — L2 pinning's offline
+profiling (paper Fig. 10), drift re-pinning, and the memstore's HBM
+admission — used to carry its own copy of the logic.  This module is
+the single implementation: :func:`popular_rows` ranks a trace's rows by
+access count, :func:`profile_hot_rows` draws an honest calibration
+trace and ranks that (the offline step), and the cache policies decide
+which rows *stay* HBM-resident as traffic flows.
+
+Policies are *priority caches*: every row carries a priority computed
+from capacity-independent state (global access counts and last-access
+ticks).  On a miss the row is fetched from host DRAM and competes for
+residency; the lowest-priority row among ``resident + {new}`` is the
+one left out.  Priorities being independent of the cache's own content
+gives all three policies the stack (inclusion) property, so hit rate is
+provably monotone non-decreasing in capacity — the invariant the
+property tests pin.
+
+* ``static_hot`` — residency fixed at warm time from a popularity
+  profile; misses never admit (the L2-pinning philosophy, lifted to
+  HBM granularity).
+* ``lru`` — priority is the last-access tick.
+* ``lfu`` — priority is (global access count, last-access tick).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+import numpy as np
+
+from repro.datasets.analysis import top_hot_rows
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.trace import EmbeddingTrace
+
+#: Seed offset between the profiled (calibration) trace and any trace
+#: being timed — profiling must never see the evaluation trace.
+PROFILE_SEED_OFFSET = 104_729
+
+
+def popular_rows(trace: EmbeddingTrace, k: int) -> np.ndarray:
+    """The ``k`` most frequently accessed rows of a trace.
+
+    The popularity profile shared by L2 pinning, drift re-pinning and
+    memstore admission — a thin delegate to the one ranking primitive,
+    :func:`repro.datasets.analysis.top_hot_rows`.
+    """
+    return top_hot_rows(trace, k)
+
+
+def profile_hot_rows(
+    spec: DatasetSpec,
+    *,
+    batch_size: int,
+    pooling_factor: int,
+    table_rows: int,
+    k: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Offline profiling: draw a calibration trace from the dataset's
+    distribution and return its top-``k`` rows.  Uses a seed offset so
+    the profiled trace differs from any trace being timed."""
+    calib = generate_trace(
+        spec,
+        batch_size=batch_size,
+        pooling_factor=pooling_factor,
+        table_rows=table_rows,
+        seed=seed + PROFILE_SEED_OFFSET,
+    )
+    return popular_rows(calib, k)
+
+
+class CachePolicy:
+    """Row-granular HBM-cache policy: priority-based admission/eviction.
+
+    Subclasses define :meth:`_priority`; the mechanics (residency map,
+    lazy min-heap, capacity enforcement) are shared.  ``_counts`` and
+    ``_ticks`` are updated for *every* accessed row whether or not it is
+    resident, keeping priorities capacity-independent (see module docs).
+    """
+
+    name = "policy"
+    #: whether misses may enter the cache (static policies say no).
+    admits = True
+
+    def __init__(self, capacity_rows: int) -> None:
+        if capacity_rows < 0:
+            raise ValueError("capacity_rows must be >= 0")
+        self.capacity_rows = int(capacity_rows)
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all residency and bookkeeping state."""
+        self._resident: dict[int, tuple] = {}
+        self._heap: list[tuple] = []  # lazy min-heap of (priority, row)
+        self._tick = 0
+        self._counts: dict[int, int] = {}
+        self._ticks: dict[int, int] = {}
+
+    # -- subclass hook --------------------------------------------------
+    def _priority(self, row: int) -> tuple:
+        raise NotImplementedError
+
+    # -- mechanics ------------------------------------------------------
+    def _touch(self, row: int) -> None:
+        self._tick += 1
+        self._counts[row] = self._counts.get(row, 0) + 1
+        self._ticks[row] = self._tick
+
+    def _place(self, row: int) -> None:
+        prio = self._priority(row)
+        self._resident[row] = prio
+        heapq.heappush(self._heap, (prio, row))
+
+    def _settle_min(self) -> tuple | None:
+        """Current true minimum heap entry (stale entries discarded)."""
+        while self._heap:
+            prio, row = self._heap[0]
+            if self._resident.get(row) == prio:
+                return self._heap[0]
+            heapq.heappop(self._heap)
+        return None
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def resident(self, row: int) -> bool:
+        return int(row) in self._resident
+
+    def warm(self, rows: Iterable[int] | np.ndarray) -> int:
+        """(Re-)admit a popularity profile (hottest first).
+
+        Every profiled row competes for residency by priority, so
+        warming a *full* cache refreshes it: freshly-profiled rows
+        carry the newest ticks and displace stale lower-priority
+        residents (for LFU, entrenched counts may legitimately win).
+        Bookkeeping (counts/ticks) is seeded for every profiled row,
+        resident or not, so priorities stay capacity-independent.
+        Returns the number of rows resident afterwards.
+        """
+        ordered = list(dict.fromkeys(
+            int(r) for r in np.asarray(rows, dtype=np.int64).tolist()
+        ))
+        for row in reversed(ordered):  # hottest row gets the newest tick
+            self._touch(row)
+        for row in ordered:
+            if self.capacity_rows == 0:
+                break
+            if row in self._resident:
+                self._place(row)  # refresh the recorded priority
+                continue
+            if len(self._resident) < self.capacity_rows:
+                self._place(row)
+                continue
+            entry = self._settle_min()
+            prio = self._priority(row)
+            if entry is not None and entry[0] < prio:
+                heapq.heappop(self._heap)
+                del self._resident[entry[1]]
+                self._resident[row] = prio
+                heapq.heappush(self._heap, (prio, row))
+        return len(self._resident)
+
+    def access(self, row: int) -> bool:
+        """One row access: returns True on an HBM hit, False on a miss
+        (the row is then fetched from host and competes for residency)."""
+        row = int(row)
+        self._touch(row)
+        if row in self._resident:
+            self._place(row)  # refresh priority (old entry goes stale)
+            return True
+        if not self.admits or self.capacity_rows == 0:
+            return False
+        if len(self._resident) < self.capacity_rows:
+            self._place(row)
+            return False
+        entry = self._settle_min()
+        new_prio = self._priority(row)
+        if entry is not None and entry[0] < new_prio:
+            heapq.heappop(self._heap)
+            del self._resident[entry[1]]
+            self._resident[row] = new_prio
+            heapq.heappush(self._heap, (new_prio, row))
+        return False
+
+    def lookup(self, indices: np.ndarray) -> tuple[int, int]:
+        """Run a batch of accesses; returns ``(hits, host_fetches)``.
+
+        One lookup is one batch, served by one bulk gather: a row that
+        misses is fetched from host once per batch however many times
+        the batch touches it — the same dedup for every policy, so
+        cross-policy host-byte accounting stays comparable.
+        """
+        hits = 0
+        fetched: set[int] = set()
+        for row in np.asarray(indices, dtype=np.int64).tolist():
+            if self.access(row):
+                hits += 1
+            else:
+                fetched.add(row)
+        return hits, len(fetched)
+
+
+class LRUPolicy(CachePolicy):
+    """Evict the least-recently-used row."""
+
+    name = "lru"
+
+    def _priority(self, row: int) -> tuple:
+        return (self._ticks[row],)
+
+
+class LFUPolicy(CachePolicy):
+    """Evict the least-frequently-used row (global counts, LRU ties)."""
+
+    name = "lfu"
+
+    def _priority(self, row: int) -> tuple:
+        return (self._counts[row], self._ticks[row])
+
+
+class StaticHotPolicy(CachePolicy):
+    """Residency fixed at warm time from a popularity profile.
+
+    Misses never admit, so the resident set is exactly the top
+    ``capacity_rows`` of the warmed profile — the memstore analogue of
+    the paper's L2 pinning.  Lookups are vectorized, and host fetches
+    are deduplicated per batch (a static miss row is gathered once into
+    the batch's staging buffer, however often the batch touches it).
+    """
+
+    name = "static_hot"
+    admits = False
+
+    def _priority(self, row: int) -> tuple:
+        return (self._ticks[row],)
+
+    def lookup(self, indices: np.ndarray) -> tuple[int, int]:
+        # vectorized twin of the generic loop (residency never changes)
+        idx = np.asarray(indices, dtype=np.int64)
+        if not len(idx):
+            return 0, 0
+        resident = np.fromiter(
+            self._resident, dtype=np.int64, count=len(self._resident)
+        )
+        hit_mask = np.isin(idx, resident)
+        hits = int(np.count_nonzero(hit_mask))
+        fetches = int(len(np.unique(idx[~hit_mask])))
+        return hits, fetches
+
+
+#: policy name -> class.
+CACHE_POLICIES: dict[str, type[CachePolicy]] = {
+    StaticHotPolicy.name: StaticHotPolicy,
+    LRUPolicy.name: LRUPolicy,
+    LFUPolicy.name: LFUPolicy,
+}
+
+
+def make_policy(name: str, capacity_rows: int) -> CachePolicy:
+    """Instantiate a cache policy by registry name."""
+    try:
+        cls = CACHE_POLICIES[name]
+    except KeyError:
+        known = ", ".join(CACHE_POLICIES)
+        raise ValueError(
+            f"unknown cache policy {name!r}; known: {known}"
+        ) from None
+    return cls(capacity_rows)

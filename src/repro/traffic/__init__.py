@@ -22,7 +22,9 @@ from repro.traffic.scenario import (
     scenario_profile,
 )
 from repro.traffic.serve import (
+    MemstoreDriftProfile,
     drift_phase_factors,
+    memstore_drift_profile,
     scaled_latency_models,
     simulate_fleet_scenario,
     simulate_scenario_serving,
@@ -35,12 +37,14 @@ __all__ = [
     "DriftSpec",
     "FlashCrowdSpec",
     "MMPPSpec",
+    "MemstoreDriftProfile",
     "ScenarioSpec",
     "ScenarioTrace",
     "StationarySpec",
     "drift_phase_factors",
     "generate_arrivals",
     "iter_arrivals",
+    "memstore_drift_profile",
     "scaled_latency_models",
     "scenario_profile",
     "simulate_fleet_scenario",

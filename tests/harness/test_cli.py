@@ -56,13 +56,17 @@ class TestMain:
         assert "Unique access" in out
         assert "regenerated in" in out
 
-    def test_run_unknown_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "nope", "--sms", "1"])
+    def test_run_unknown_lists_choices(self, capsys):
+        # no traceback: a friendly error naming the valid experiments
+        assert main(["run", "nope", "--sms", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        assert "fig12" in err and "memstore" in err and "all" in err
 
-    def test_profile_rejected_for_other_experiments(self):
-        with pytest.raises(ValueError, match="only applies"):
-            main(["run", "tab3", "--sms", "1", "--profile", "mmpp"])
+    def test_profile_rejected_for_other_experiments(self, capsys):
+        assert main(["run", "tab3", "--sms", "1", "--profile", "mmpp"]) == 2
+        err = capsys.readouterr().err
+        assert "only applies" in err
 
     def test_run_scenario_with_profile(self, capsys):
         assert main(

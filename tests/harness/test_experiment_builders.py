@@ -71,3 +71,28 @@ class TestSweepFigures:
         assert {r["dataset"] for r in table.rows} == {"high_hot", "med_hot"}
         for row in table.rows:
             assert row["pool10"] > 0.5
+
+
+class TestMemstoreExperiment:
+    def test_sweep_p99_monotone_and_drift_recovers(self, ctx):
+        table = run_experiment("memstore", ctx)
+        sweep = [r for r in table.rows if r["part"] == "hbm-sweep"]
+        assert len(sweep) >= 4
+        fractions = [r["x"] for r in sweep]
+        assert fractions == sorted(fractions)
+        hits = [r["hit_rate"] for r in sweep]
+        assert all(b >= a for a, b in zip(hits, hits[1:]))
+        # p99 improves monotonically (within noise) with cache fraction
+        p99s = [r["p99_ms"] for r in sweep]
+        assert all(b <= a * 1.02 for a, b in zip(p99s, p99s[1:]))
+        assert sweep[-1]["host_us_per_query"] == 0.0
+
+        pin_once = [r for r in table.rows if r["part"] == "drift"]
+        refreshed = [r for r in table.rows if r["part"] == "drift+refresh"]
+        assert len(pin_once) == len(refreshed) == 4
+        decay = [r["hit_rate"] for r in pin_once]
+        assert all(b < a for a, b in zip(decay, decay[1:]))
+        assert any(r["refreshed"] for r in refreshed)
+        # after the refresh the hit rate recovers vs pin-once
+        for once, fresh in zip(pin_once[2:], refreshed[2:]):
+            assert fresh["hit_rate"] > once["hit_rate"]

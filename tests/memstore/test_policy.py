@@ -1,0 +1,162 @@
+"""Cache-policy behaviour and the shared popularity profiling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.memstore.policy import (
+    CACHE_POLICIES,
+    LFUPolicy,
+    LRUPolicy,
+    StaticHotPolicy,
+    make_policy,
+    popular_rows,
+    profile_hot_rows,
+)
+
+
+class TestSharedProfiling:
+    def test_pinning_reexports_the_policy_implementation(self):
+        from repro.kernels import pinning
+
+        assert pinning.profile_hot_rows is profile_hot_rows
+
+    def test_profile_differs_from_timed_trace(self):
+        spec = HOTNESS_PRESETS["med_hot"]
+        kwargs = dict(
+            batch_size=32, pooling_factor=20, table_rows=4096, seed=3
+        )
+        timed = generate_trace(spec, **kwargs)
+        profiled = profile_hot_rows(spec, k=50, **kwargs)
+        # honest offline profiling: the hot rows still cover the timed
+        # trace (shared layout) without being derived from it
+        assert np.isin(timed.indices, profiled).mean() > 0.2
+
+    def test_popular_rows_orders_by_count(self):
+        spec = HOTNESS_PRESETS["high_hot"]
+        trace = generate_trace(
+            spec, batch_size=32, pooling_factor=20, table_rows=4096, seed=0
+        )
+        top = popular_rows(trace, 5)
+        counts = [int((trace.indices == r).sum()) for r in top]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestPolicyMechanics:
+    def test_registry(self):
+        assert set(CACHE_POLICIES) == {"static_hot", "lru", "lfu"}
+        for name in CACHE_POLICIES:
+            assert make_policy(name, 4).name == name
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            make_policy("fifo", 4)
+
+    def test_zero_capacity_never_hits(self):
+        for name in CACHE_POLICIES:
+            policy = make_policy(name, 0)
+            policy.warm([1, 2, 3])
+            assert policy.resident_count == 0
+            assert not any(policy.access(r) for r in (1, 2, 3, 1))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(-1)
+
+    def test_warm_caps_at_capacity_hottest_first(self):
+        policy = StaticHotPolicy(2)
+        assert policy.warm([7, 8, 9, 10]) == 2
+        assert policy.resident(7) and policy.resident(8)
+        assert not policy.resident(9)
+
+    def test_warm_on_full_cache_refreshes(self):
+        # re-warming with a fresh profile displaces stale residents;
+        # warm() alone is a cache refresh, no reset() required
+        for name in CACHE_POLICIES:
+            policy = make_policy(name, 2)
+            policy.warm([1, 2])
+            policy.warm([8, 9])
+            assert policy.resident(8) and policy.resident(9), name
+            assert not policy.resident(1), name
+
+    def test_warm_refresh_with_overlapping_profile(self):
+        # a re-profiled hot set overlaps the old one (drift moves only a
+        # fraction of rows): surviving hot rows must stay resident with
+        # refreshed priority, not be evicted in favor of stale rows
+        for name in CACHE_POLICIES:
+            policy = make_policy(name, 2)
+            policy.warm([1, 2])
+            policy.warm([2, 9])
+            assert policy.resident(2) and policy.resident(9), name
+            assert not policy.resident(1), name
+
+    def test_warm_keeps_entrenched_lfu_rows(self):
+        policy = LFUPolicy(2)
+        policy.warm([1, 2])
+        for _ in range(5):
+            policy.access(1)
+        policy.warm([8, 9])
+        # row 1's accumulated count legitimately outranks the profile
+        assert policy.resident(1)
+
+    def test_static_misses_never_admit(self):
+        policy = StaticHotPolicy(2)
+        policy.warm([1, 2])
+        for _ in range(5):
+            assert not policy.access(3)
+        assert policy.access(1)
+
+    def test_static_lookup_dedups_fetches(self):
+        policy = StaticHotPolicy(1)
+        policy.warm([0])
+        hits, fetches = policy.lookup(np.array([0, 5, 5, 5, 6]))
+        assert hits == 1
+        assert fetches == 2  # rows 5 and 6, gathered once each
+
+    def test_lru_evicts_oldest(self):
+        policy = LRUPolicy(2)
+        assert not policy.access(1)
+        assert not policy.access(2)
+        assert policy.access(1)      # 2 is now LRU
+        assert not policy.access(3)  # evicts 2
+        assert policy.access(1)
+        assert not policy.access(2)
+
+    def test_lfu_protects_frequent_rows(self):
+        policy = LFUPolicy(2)
+        for _ in range(3):
+            policy.access(1)
+        policy.access(2)
+        # row 3 (count 1) cannot displace row 1 (count 3); it competes
+        # with row 2 and wins only once its priority is higher
+        policy.access(3)
+        assert policy.resident(1)
+
+    def test_reset_clears_residency(self):
+        policy = LRUPolicy(4)
+        policy.warm([1, 2, 3])
+        policy.reset()
+        assert policy.resident_count == 0
+        assert not policy.access(1)
+
+    def test_lookup_conservation(self):
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 50, size=300)
+        for name in CACHE_POLICIES:
+            policy = make_policy(name, 16)
+            policy.warm(np.arange(16))
+            hits, fetches = policy.lookup(indices)
+            assert 0 <= hits <= len(indices)
+            # one bulk gather per batch: fetches are distinct missed
+            # rows for every policy, never more than the miss count
+            assert 0 <= fetches <= len(indices) - hits
+            assert fetches <= len(np.unique(indices))
+
+    def test_lookup_dedups_fetches_across_policies(self):
+        # 20 touches of one cold row in one batch = one host fetch,
+        # whether or not the policy admits it
+        indices = np.full(20, 42)
+        for name in CACHE_POLICIES:
+            policy = make_policy(name, 1)
+            policy.warm([0])
+            _, fetches = policy.lookup(indices)
+            assert fetches == 1, name

@@ -1,0 +1,99 @@
+"""Property-based memstore invariants.
+
+Randomized (hypothesis) checks of the structural guarantees the tiered
+store must never lose, whatever the workload:
+
+* hit rate is monotone non-decreasing in cache capacity for *every*
+  policy — the stack (inclusion) property the priority-cache design
+  guarantees (see :mod:`repro.memstore.policy`);
+* a :class:`TierPlan` always conserves rows: resident + host == table;
+* lookup accounting conserves accesses: hits + misses == n_accesses,
+  and host bytes are exactly fetched-rows x row-bytes.
+
+``derandomize=True`` keeps CI deterministic (hypothesis still explores
+the space, from a fixed seed).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memstore.policy import CACHE_POLICIES, make_policy
+from repro.memstore.store import EmbeddingStore, HostLink, TierPlan
+
+SETTINGS = dict(max_examples=60, deadline=None, derandomize=True)
+
+_LINK = HostLink("pcie", 25.0, 10.0)
+
+_accesses = st.lists(
+    st.integers(0, 30), min_size=1, max_size=300
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+_profiles = st.lists(
+    st.integers(0, 30), min_size=0, max_size=31, unique=True
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+_policies = st.sampled_from(sorted(CACHE_POLICIES))
+
+
+def _hits_at(policy_name, capacity, profile, accesses):
+    policy = make_policy(policy_name, capacity)
+    policy.warm(profile)
+    hits = sum(policy.access(int(row)) for row in accesses)
+    return hits
+
+
+@given(
+    policy_name=_policies,
+    capacity=st.integers(0, 32),
+    profile=_profiles,
+    accesses=_accesses,
+)
+@settings(**SETTINGS)
+def test_hit_rate_monotone_in_capacity(
+    policy_name, capacity, profile, accesses
+):
+    smaller = _hits_at(policy_name, capacity, profile, accesses)
+    larger = _hits_at(policy_name, capacity + 1, profile, accesses)
+    assert larger >= smaller
+
+
+@given(
+    table_rows=st.integers(1, 10_000),
+    row_bytes=st.sampled_from([64, 128, 256, 512]),
+    fraction=st.floats(0.0, 1.0),
+)
+@settings(**SETTINGS)
+def test_tier_plan_conserves_rows(table_rows, row_bytes, fraction):
+    plan = TierPlan.from_fraction(table_rows, row_bytes, fraction)
+    assert plan.resident_rows + plan.host_rows == plan.table_rows
+    assert 0.0 <= plan.resident_fraction <= 1.0
+    budgeted = TierPlan.from_budget(
+        table_rows, row_bytes, int(fraction * table_rows * row_bytes)
+    )
+    assert budgeted.resident_rows + budgeted.host_rows == table_rows
+
+
+@given(
+    policy_name=_policies,
+    capacity=st.integers(0, 31),
+    profile=_profiles,
+    accesses=_accesses,
+)
+@settings(**SETTINGS)
+def test_lookup_conserves_accesses(
+    policy_name, capacity, profile, accesses
+):
+    plan = TierPlan(
+        table_rows=31, resident_rows=capacity, row_bytes=128,
+        policy=policy_name,
+    )
+    store = EmbeddingStore(plan, _LINK, hot_rows=profile)
+    stats = store.lookup(accesses)
+    assert stats.n_accesses == len(accesses)
+    assert stats.hits + stats.misses == stats.n_accesses
+    assert stats.host_bytes == stats.host_rows_fetched * plan.row_bytes
+    assert 0.0 <= stats.hit_rate <= 1.0
+    # a host fetch only ever serves a miss
+    assert stats.host_rows_fetched <= max(stats.misses, 0)
+    if stats.misses == 0:
+        assert stats.host_fetch_us == 0.0

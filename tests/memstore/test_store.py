@@ -1,0 +1,128 @@
+"""TierPlan / HostLink / EmbeddingStore accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.memstore import (
+    EmbeddingStore,
+    HostLink,
+    TierPlan,
+    store_for_spec,
+)
+
+
+class TestTierPlan:
+    def test_row_conservation(self):
+        plan = TierPlan(table_rows=1000, resident_rows=123, row_bytes=512)
+        assert plan.resident_rows + plan.host_rows == plan.table_rows
+        assert plan.resident_bytes + plan.host_bytes \
+            == plan.table_rows * plan.row_bytes
+
+    def test_from_fraction_bounds(self):
+        full = TierPlan.from_fraction(1000, 512, 1.0)
+        assert full.fully_resident and full.host_rows == 0
+        empty = TierPlan.from_fraction(1000, 512, 0.0)
+        assert empty.resident_rows == 0
+        with pytest.raises(ValueError):
+            TierPlan.from_fraction(1000, 512, 1.5)
+
+    def test_from_budget(self):
+        plan = TierPlan.from_budget(1000, 512, 10 * 512)
+        assert plan.resident_rows == 10
+        big = TierPlan.from_budget(1000, 512, 10**9)
+        assert big.fully_resident
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            TierPlan(table_rows=10, resident_rows=11, row_bytes=512)
+        with pytest.raises(ValueError, match="unknown cache policy"):
+            TierPlan(table_rows=10, resident_rows=5, row_bytes=512,
+                     policy="fifo")
+
+
+class TestHostLink:
+    def test_transfer_math(self):
+        link = HostLink("pcie", bandwidth_gbps=25.0, latency_us=10.0)
+        assert link.transfer_us(0) == 0.0
+        # 25 GB/s = 25,000 bytes/us: 2.5 MB => 100 us + launch latency
+        assert link.transfer_us(2_500_000) == pytest.approx(110.0)
+        assert link.transfer_us(2_500_000, transfers=2) \
+            == pytest.approx(120.0)
+
+    def test_from_gpu_and_scaling(self):
+        link = HostLink.pcie(A100_SXM4_80GB)
+        assert link.bandwidth_gbps == A100_SXM4_80GB.pcie_gbps
+        half = link.scaled(0.5)
+        assert half.bandwidth_gbps == pytest.approx(link.bandwidth_gbps / 2)
+        assert half.latency_us == link.latency_us
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostLink("x", bandwidth_gbps=0.0, latency_us=1.0)
+        with pytest.raises(ValueError):
+            HostLink("x", bandwidth_gbps=1.0, latency_us=-1.0)
+
+
+def _store(fraction, policy="static_hot", *, table_rows=4096, seed=0):
+    return store_for_spec(
+        HOTNESS_PRESETS["med_hot"],
+        batch_size=32,
+        pooling_factor=20,
+        table_rows=table_rows,
+        row_bytes=512,
+        hbm_fraction=fraction,
+        link=HostLink("pcie", 25.0, 10.0),
+        policy=policy,
+        seed=seed,
+    )
+
+
+def _trace(table_rows=4096, seed=0):
+    return generate_trace(
+        HOTNESS_PRESETS["med_hot"],
+        batch_size=32, pooling_factor=20, table_rows=table_rows, seed=seed,
+    )
+
+
+class TestEmbeddingStore:
+    def test_fully_resident_never_fetches(self):
+        stats = _store(1.0).lookup(_trace())
+        assert stats.hit_rate == 1.0
+        assert stats.host_rows_fetched == 0
+        assert stats.host_fetch_us == 0.0
+
+    def test_partial_residency_accounts_misses(self):
+        trace = _trace()
+        stats = _store(0.01).lookup(trace)
+        assert stats.n_accesses == trace.n_accesses
+        assert 0.0 < stats.hit_rate < 1.0
+        assert stats.hits + stats.misses == stats.n_accesses
+        assert stats.host_bytes == stats.host_rows_fetched * 512
+        assert stats.host_fetch_us > 0.0
+
+    def test_lookup_is_deterministic(self):
+        trace = _trace()
+        assert _store(0.01).lookup(trace) == _store(0.01).lookup(trace)
+
+    def test_adaptive_policy_warms_across_lookups(self):
+        trace = _trace()
+        store = _store(0.01, policy="lfu")
+        cold = store.lookup(trace)
+        warm = store.lookup(trace)  # accumulated counts keep hot rows in
+        assert warm.hits > cold.hits
+
+    def test_out_of_range_indices_rejected(self):
+        store = _store(0.5)
+        with pytest.raises(ValueError, match="exceed"):
+            store.lookup(np.array([4096]))
+
+    def test_policy_capacity_mismatch_rejected(self):
+        from repro.memstore.policy import LRUPolicy
+
+        plan = TierPlan(table_rows=100, resident_rows=10, row_bytes=512)
+        with pytest.raises(ValueError, match="capacity"):
+            EmbeddingStore(plan, HostLink("pcie", 25.0, 10.0),
+                           policy=LRUPolicy(5))

@@ -27,8 +27,12 @@ from repro.core.serving import (
     ContinuousBatching,
     simulate_serving,
 )
-from repro.fleet import FleetSpec, simulate_fleet
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.fleet import FleetSpec, simulate_fleet, tiered_latency_model
+from repro.memstore import HostLink, store_for_spec
 from repro.traffic import (
+    StationarySpec,
     scenario_profile,
     simulate_fleet_scenario,
     simulate_scenario_serving,
@@ -96,6 +100,50 @@ def _fleet_summary() -> dict:
             "mmpp_least_latency": fleet_dict(burst)}
 
 
+def _memstore_summary() -> dict:
+    """One end-to-end tiered serving run, pinned tier by tier.
+
+    A med_hot table behind a small static-hot HBM cache: the tier
+    accounting (hits/fetches/host time) and the serving report it
+    produces (host penalty in the latency curve, hit rate threaded into
+    the phases) are both snapshot.
+    """
+    batch, pooling, rows = 64, 20, 4096
+    store = store_for_spec(
+        HOTNESS_PRESETS["med_hot"],
+        batch_size=batch,
+        pooling_factor=pooling,
+        table_rows=rows,
+        row_bytes=512,
+        hbm_fraction=0.05,
+        link=HostLink("pcie", 25.0, 10.0),
+        seed=11,
+    )
+    trace = generate_trace(
+        HOTNESS_PRESETS["med_hot"],
+        batch_size=batch, pooling_factor=pooling, table_rows=rows, seed=11,
+    )
+    tier = store.lookup(trace)
+    host_us_per_query = tier.host_fetch_us / batch
+    tiered_model = tiered_latency_model(
+        _toy_model, host_us_per_query=host_us_per_query
+    )
+
+    report = simulate_scenario_serving(
+        StationarySpec(base_qps=600, duration_s=5.0),
+        tiered_model,
+        policy=ContinuousBatching(max_batch=256, sla_ms=40.0),
+        sla_ms=40.0,
+        seed=11,
+        phase_hit_rates=(tier.hit_rate,),
+    )
+    return {
+        "tier_stats": dataclasses.asdict(tier),
+        "host_us_per_query": host_us_per_query,
+        "report": dataclasses.asdict(report),
+    }
+
+
 def _assert_matches(actual, golden, path=""):
     if isinstance(golden, dict):
         assert isinstance(actual, dict), path
@@ -127,6 +175,7 @@ def _tuples_to_lists(obj):
 @pytest.mark.parametrize("name, build", [
     ("serving", _serving_summary),
     ("fleet", _fleet_summary),
+    ("memstore", _memstore_summary),
 ])
 def test_golden_snapshot(name, build):
     golden_path = GOLDEN_DIR / f"{name}.json"
