@@ -1,0 +1,79 @@
+"""Tenancy guardrails: consolidation keeps its goodput promise.
+
+Two perf-smoke invariants of multi-tenant serving:
+
+* consolidating a zoo onto one GPU retains at least a floor fraction
+  of the goodput the same tenants achieve solo on dedicated GPUs —
+  MPS-style sharing erodes tails, it must not collapse throughput;
+* the `tenancy` experiment's zoo-size sweep shows aggregate goodput
+  rising monotonically with consolidation while per-tenant p99 erodes
+  monotonically (the trade the experiment exists to expose).
+"""
+
+from repro.tenancy import ZooSpec, example_zoo, simulate_zoo_serving
+
+#: consolidated aggregate goodput must keep at least this fraction of
+#: the sum of the tenants' solo goodputs (worst-case demands).
+_CONSOLIDATION_GOODPUT_FLOOR = 0.70
+
+
+def test_consolidation_goodput_floor():
+    zoo = example_zoo(3, base_qps=2500.0, duration_s=3.0, sla_ms=60.0)
+    toy = lambda batch: 8.0 + 0.008 * batch
+    models = {name: toy for name in zoo.tenant_names}
+
+    solo_total = 0.0
+    for tenant in zoo.tenants:
+        alone = ZooSpec(name=f"solo-{tenant.name}", tenants=(tenant,))
+        report = simulate_zoo_serving(
+            alone, {tenant.name: toy}, seed=2,
+        )
+        solo_total += report.aggregate_goodput_qps
+
+    consolidated = simulate_zoo_serving(zoo, models, seed=2)
+    print()
+    print(f"sum of solo goodput (3 GPUs): {solo_total:9.0f} QPS")
+    print(f"consolidated (1 GPU):         "
+          f"{consolidated.aggregate_goodput_qps:9.0f} QPS "
+          f"(factors {sorted(consolidated.contention.values())})")
+    assert consolidated.aggregate_goodput_qps >= (
+        _CONSOLIDATION_GOODPUT_FLOOR * solo_total
+    ), (consolidated.aggregate_goodput_qps, solo_total)
+
+
+def test_tenancy_experiment_consolidation_trade(regenerate):
+    table = regenerate("tenancy")
+    totals = [
+        r for r in table.rows
+        if r["part"] == "sweep" and r["tenant"] == "ALL"
+    ]
+    sizes = [r["zoo_size"] for r in totals]
+    assert sizes == sorted(sizes)
+    goodputs = [r["goodput_qps"] for r in totals]
+    assert all(b > a for a, b in zip(goodputs, goodputs[1:])), (
+        f"aggregate goodput must rise under consolidation: {goodputs}"
+    )
+    # every tenant's p99 erodes as the zoo grows (within 1% noise)
+    tenants = {
+        r["tenant"] for r in table.rows
+        if r["part"] == "sweep" and r["tenant"] != "ALL"
+    }
+    for tenant in tenants:
+        p99s = [
+            r["p99_ms"] for r in table.rows
+            if r["part"] == "sweep" and r["tenant"] == tenant
+        ]
+        assert all(b >= a * 0.99 for a, b in zip(p99s, p99s[1:])), (
+            tenant, p99s
+        )
+    # drift part: re-arbitration recovers aggregate hit rate per phase
+    for phase in ("drift2", "drift3"):
+        stale = sum(
+            r["hit_rate"] for r in table.rows
+            if r["part"] == "drift" and r["phase"] == f"{phase}/stale"
+        )
+        rearb = sum(
+            r["hit_rate"] for r in table.rows
+            if r["part"] == "drift" and r["phase"] == f"{phase}/rearb"
+        )
+        assert rearb > stale, (phase, stale, rearb)

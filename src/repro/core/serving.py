@@ -488,6 +488,51 @@ def serve_stream(
     )
 
 
+def serve_tenant_streams(
+    latency_models: Mapping[str, LatencyModel | Sequence[LatencyModel]
+                            | Mapping[str, LatencyModel]],
+    streams: Mapping[str, object],
+    *,
+    policies: Mapping[str, BatchingPolicy | ContinuousBatching]
+              | None = None,
+    sla_ms: Mapping[str, float | None] | float | None = None,
+    scheme_names: Mapping[str, str] | None = None,
+    phase_hit_rates: Mapping[str, Sequence[float]] | None = None,
+) -> dict[str, StreamReport]:
+    """Serve several tenants' arrival streams, one report per tenant.
+
+    Each tenant runs on its own (virtual) GPU timeline — the MPS-style
+    concurrency model, where co-resident kernels execute simultaneously
+    and contention arrives through the latency curves themselves (see
+    :mod:`repro.tenancy.share`), not through queueing behind each
+    other.  Every per-tenant argument is keyed by tenant name;
+    ``sla_ms`` may also be a single number shared by all tenants.
+    Each tenant's serve is *exactly* :func:`serve_stream` — a
+    one-tenant call is field-identical to calling it directly.
+    """
+    missing = sorted(set(streams) - set(latency_models))
+    if missing:
+        raise KeyError(f"no latency model for tenants {missing}")
+    reports = {}
+    for name in streams:
+        sla = (
+            sla_ms.get(name) if isinstance(sla_ms, Mapping) else sla_ms
+        )
+        reports[name] = serve_stream(
+            latency_models[name],
+            streams[name],
+            policy=policies.get(name) if policies else None,
+            sla_ms=sla,
+            scheme_name=(
+                scheme_names.get(name, name) if scheme_names else name
+            ),
+            phase_hit_rates=(
+                phase_hit_rates.get(name) if phase_hit_rates else None
+            ),
+        )
+    return reports
+
+
 def simulate_serving(
     batch_latency_ms: Callable[[int], float],
     *,

@@ -21,10 +21,13 @@ from repro.fleet.placement import (
     HeteroShard,
     TieredPlacement,
     TieredShard,
+    ZooPlacement,
+    ZooShard,
     hetero_lpt_shard,
     measure_table_times,
     place_tables,
     place_tables_tiered,
+    place_zoo,
 )
 from repro.fleet.report import (
     FleetReport,
@@ -41,6 +44,8 @@ from repro.fleet.router import (
     resolve_policy,
     simulate_fleet,
     simulate_fleet_stream,
+    simulate_fleet_tenant_streams,
+    subfleet,
 )
 from repro.fleet.topology import (
     GPU_COST_UNITS,
@@ -63,6 +68,8 @@ __all__ = [
     "RoutingPolicy",
     "TieredPlacement",
     "TieredShard",
+    "ZooPlacement",
+    "ZooShard",
     "autoscaler_sweep",
     "build_fleet_report",
     "calibrated_latency_model",
@@ -73,10 +80,13 @@ __all__ = [
     "phase_breakdown",
     "place_tables",
     "place_tables_tiered",
+    "place_zoo",
     "replicas_needed",
     "resolve_policy",
     "simulate_fleet",
     "simulate_fleet_stream",
+    "simulate_fleet_tenant_streams",
+    "subfleet",
     "tiered_fleet_models",
     "tiered_latency_model",
 ]

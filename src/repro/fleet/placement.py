@@ -179,6 +179,92 @@ def place_tables(
 
 
 # ----------------------------------------------------------------------
+# zoo placement: whole tenants onto GPU instances
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ZooShard:
+    """One GPU instance's co-resident tenants."""
+
+    replica_name: str
+    gpu_name: str
+    tenants: tuple[str, ...]
+    effective_us: float
+
+
+@dataclass(frozen=True)
+class ZooPlacement:
+    """A model zoo packed onto (possibly unequal) GPU instances."""
+
+    shards: tuple[ZooShard, ...]
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.shards)
+
+    @property
+    def critical_path_us(self) -> float:
+        return max(s.effective_us for s in self.shards)
+
+    @property
+    def max_coresidency(self) -> int:
+        """Most tenants sharing one GPU (the interference hot spot)."""
+        return max(len(s.tenants) for s in self.shards)
+
+    @property
+    def assignments(self) -> dict[str, tuple[str, ...]]:
+        """tenant -> replica names, the shape the zoo router consumes."""
+        out: dict[str, tuple[str, ...]] = {}
+        for shard in self.shards:
+            for tenant in shard.tenants:
+                out[tenant] = out.get(tenant, ()) + (shard.replica_name,)
+        return out
+
+
+def place_zoo(
+    tenant_times: TableTimes,
+    tenants: Sequence[str],
+    instances: Sequence[tuple[str, str]],
+) -> ZooPlacement:
+    """Pack whole tenants onto GPU instances by tiered effective time.
+
+    The multi-tenant sibling of :func:`place_tables`: the unit of
+    placement is a *tenant* (its whole model; per-table sharding stays
+    within :func:`place_tables_tiered`), and the cost of a tenant on a
+    GPU is its tiered effective batch time there — kernel time plus
+    the host-fetch penalty its HBM share implies, e.g. from
+    :func:`repro.tenancy.share.zoo_effective_times`.  ``tenant_times``
+    maps GPU *type* names to per-tenant effective times; ``instances``
+    lists ``(replica_name, gpu_type)`` per GPU instance.  Greedy
+    min-completion-time over unequal machines, exactly like table
+    placement — heaviest tenant first, each to the instance that would
+    finish it earliest.
+    """
+    if not tenants:
+        raise ValueError("zoo placement needs at least one tenant")
+    if not instances:
+        raise ValueError("zoo placement needs at least one GPU instance")
+    names = [name for name, _ in instances]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate instance names: {names}")
+    gpu_types = [gpu for _, gpu in instances]
+    assignment = hetero_lpt_shard(
+        tenant_times, {tenant: 1 for tenant in tenants}, gpu_types
+    )
+    shards = []
+    for i, placed in enumerate(assignment):
+        replica_name, gpu_type = instances[i]
+        shards.append(ZooShard(
+            replica_name=replica_name,
+            gpu_name=gpu_type,
+            tenants=tuple(placed),
+            effective_us=sum(
+                tenant_times[gpu_type][t] for t in placed
+            ),
+        ))
+    return ZooPlacement(shards=tuple(shards))
+
+
+# ----------------------------------------------------------------------
 # tiered placement: resident fraction + host remainder per table
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

@@ -348,6 +348,70 @@ def simulate_fleet_stream(
     )
 
 
+def subfleet(fleet: FleetSpec, replicas: Sequence[str]) -> FleetSpec:
+    """The sub-fleet holding exactly ``replicas`` (order preserved).
+
+    Returns ``fleet`` itself when the subset is the whole fleet, so a
+    degenerate selection changes nothing — not even the fleet name.
+    """
+    wanted = set(replicas)
+    unknown = sorted(wanted - {r.name for r in fleet.replicas})
+    if unknown:
+        known = ", ".join(r.name for r in fleet.replicas)
+        raise KeyError(f"unknown replicas {unknown}; known: {known}")
+    if wanted == {r.name for r in fleet.replicas}:
+        return fleet
+    subset = tuple(r for r in fleet.replicas if r.name in wanted)
+    return FleetSpec(
+        name=f"{fleet.name}/{'+'.join(r.name for r in subset)}",
+        replicas=subset,
+    )
+
+
+def simulate_fleet_tenant_streams(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, Mapping[str, LatencyModel]],
+    streams: Mapping[str, object],
+    *,
+    assignments: Mapping[str, Sequence[str]] | None = None,
+    policy: str | RoutingPolicy = "jsq",
+    sla_ms: Mapping[str, float | None] | float | None = None,
+    seed: int = 0,
+) -> dict[str, FleetReport]:
+    """Route several tenants' streams over the fleet, one report each.
+
+    Multi-tenant serving in the MPS-style concurrency model: each
+    tenant's queries are routed over its assigned replicas on the
+    tenant's own timeline (contention between co-resident tenants is
+    carried by the latency curves — :mod:`repro.tenancy.share` prices
+    it), so per-tenant tails and SLA attainment stay attributable.
+    ``latency_models[tenant]`` maps replica or GPU names to that
+    tenant's curves; ``assignments[tenant]`` names the replicas it may
+    use (omitted: all of them).  A single tenant assigned the whole
+    fleet is served by :func:`simulate_fleet_stream` verbatim —
+    field-identical to calling it directly.
+    """
+    missing = sorted(set(streams) - set(latency_models))
+    if missing:
+        raise KeyError(f"no latency models for tenants {missing}")
+    reports = {}
+    for name in streams:
+        replicas = (
+            assignments.get(name) if assignments is not None else None
+        )
+        sub = (
+            fleet if replicas is None else subfleet(fleet, replicas)
+        )
+        sla = (
+            sla_ms.get(name) if isinstance(sla_ms, Mapping) else sla_ms
+        )
+        reports[name] = simulate_fleet_stream(
+            sub, latency_models[name], streams[name],
+            policy=policy, sla_ms=sla, seed=seed,
+        )
+    return reports
+
+
 def _replica_report(state: _ReplicaState, horizon: float) -> ServingReport:
     # ServingReport.scheme_name carries the *replica* name here: fleet
     # consumers (routed_fractions, per-replica tables) identify rows by

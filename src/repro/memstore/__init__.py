@@ -16,6 +16,7 @@ from repro.memstore.policy import (
     LFUPolicy,
     LRUPolicy,
     StaticHotPolicy,
+    hit_curve,
     make_policy,
     popular_rows,
     profile_hot_rows,
@@ -39,6 +40,7 @@ __all__ = [
     "StaticHotPolicy",
     "TierPlan",
     "TierStats",
+    "hit_curve",
     "make_policy",
     "popular_rows",
     "profile_hot_rows",

@@ -73,6 +73,58 @@ def profile_hot_rows(
     return popular_rows(calib, k)
 
 
+def hit_curve(
+    profile: np.ndarray,
+    accesses: np.ndarray,
+    table_rows: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Capacity-indexed hit/fetch accounting for a static-hot cache.
+
+    The stack (inclusion) property of the priority caches means the
+    resident set at capacity ``k`` is exactly the top ``k`` rows of the
+    warmed ``profile`` — so one pass over ``accesses`` prices *every*
+    capacity at once instead of replaying the policy per candidate.
+    Returns ``(cum_hits, cum_unique)``, each of length
+    ``table_rows + 1``:
+
+    * ``cum_hits[k]`` — accesses served from HBM at capacity ``k``
+      (monotone non-decreasing in ``k`` by construction, which is what
+      makes waterfilling arbitration on marginal hit rate sound);
+    * ``cum_unique[k]`` — *distinct* resident rows touched, so
+      ``n_distinct - cum_unique[k]`` is the per-batch host-gather row
+      count under the policies' bulk-fetch dedup.
+
+    Both match :class:`StaticHotPolicy` lookups exactly: for any ``k``,
+    ``cum_hits[k]`` equals the hits of a store warmed with
+    ``profile[:k]`` replaying ``accesses``.
+    """
+    profile = np.asarray(profile, dtype=np.int64)
+    accesses = np.asarray(accesses, dtype=np.int64)
+    if len(profile) != len(np.unique(profile)):
+        raise ValueError("profile must not repeat rows")
+    if len(profile) and (
+        profile.min() < 0 or profile.max() >= table_rows
+    ):
+        raise ValueError("profile rows exceed table_rows")
+    if len(accesses) and (
+        accesses.min() < 0 or accesses.max() >= table_rows
+    ):
+        raise ValueError("accesses exceed table_rows")
+    # rank = position in the warmed profile; unprofiled rows never hit
+    rank = np.full(table_rows, table_rows, dtype=np.int64)
+    rank[profile] = np.arange(len(profile), dtype=np.int64)
+    access_ranks = rank[accesses] if len(accesses) else accesses
+    ranked = access_ranks[access_ranks < table_rows]
+    counts = np.bincount(ranked, minlength=table_rows)
+    cum_hits = np.concatenate(([0], np.cumsum(counts)))
+    distinct = np.unique(access_ranks) if len(accesses) else access_ranks
+    dcounts = np.bincount(
+        distinct[distinct < table_rows], minlength=table_rows
+    )
+    cum_unique = np.concatenate(([0], np.cumsum(dcounts)))
+    return cum_hits, cum_unique
+
+
 class CachePolicy:
     """Row-granular HBM-cache policy: priority-based admission/eviction.
 

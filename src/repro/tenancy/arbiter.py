@@ -1,0 +1,403 @@
+"""HBM arbitration: waterfilling one GPU's budget across tenant caches.
+
+Co-resident tenants all want their embedding hot set HBM-resident, and
+one device's HBM cannot hold every zoo member's tables (that is the
+memstore premise, multiplied by the zoo).  The arbiter splits a GPU's
+HBM budget across the tenants' :class:`~repro.memstore.EmbeddingStore`
+plans by *waterfilling on marginal hit rate*: bytes flow, chunk by
+chunk, to whichever tenant's cache currently buys the largest hit-rate
+gain per byte.
+
+The price curves come from :func:`repro.memstore.policy.hit_curve` —
+the stack (inclusion) property of the priority caches means the
+resident set at capacity ``k`` is exactly the top ``k`` profiled rows,
+so one pass prices every candidate capacity and each tenant's hit rate
+is *provably* monotone non-decreasing in its granted share.  Grants
+respect two contracts exactly: the per-tenant floor
+(:attr:`TenantSpec.hbm_floor_fraction` of its own tables — never taken
+away, however hungry the co-tenants) and byte conservation
+(``granted + leftover == budget`` in exact integer arithmetic).
+
+Drift re-arbitration: popularity drift moves the hit curves, so
+:func:`rearbitrate_on_drift` rebuilds them at a drift phase — profiled
+from the *previous* phase's pattern, the online view — and runs the
+same waterfilling again.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.config.gpu import A100_SXM4_80GB, GpuSpec
+from repro.config.scale import SimScale
+from repro.core.drift import DriftModel
+from repro.core.embedding import kernel_workload
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.memstore.policy import (
+    PROFILE_SEED_OFFSET,
+    hit_curve,
+    popular_rows,
+)
+from repro.memstore.store import EmbeddingStore, HostLink, TierPlan
+from repro.tenancy.zoo import TenantSpec, ZooSpec
+
+
+@dataclass(frozen=True)
+class TenantHitCurve:
+    """One tenant's capacity-priced cache behaviour on one GPU slice.
+
+    ``cum_hits[k]`` / ``cum_unique[k]`` index the representative
+    table's capacity in rows (see
+    :func:`repro.memstore.policy.hit_curve`); ``tables`` statistically
+    identical tables share the grant, so one granted "row" costs
+    ``row_bytes * tables`` bytes of HBM.
+    """
+
+    tenant: str
+    table_rows: int
+    row_bytes: int
+    tables: int
+    batch_size: int
+    n_accesses: int
+    n_distinct: int
+    floor_rows: int
+    profile: np.ndarray = field(repr=False, compare=False)
+    cum_hits: np.ndarray = field(repr=False, compare=False)
+    cum_unique: np.ndarray = field(repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.floor_rows <= self.table_rows:
+            raise ValueError("floor_rows must be in [0, table_rows]")
+        if len(self.cum_hits) != self.table_rows + 1:
+            raise ValueError("cum_hits must have table_rows + 1 entries")
+
+    @property
+    def bytes_per_row(self) -> int:
+        """HBM cost of keeping one row resident across all the tables."""
+        return self.row_bytes * self.tables
+
+    @property
+    def table_bytes(self) -> int:
+        return self.table_rows * self.bytes_per_row
+
+    @property
+    def floor_bytes(self) -> int:
+        return self.floor_rows * self.bytes_per_row
+
+    def hits_at(self, rows: int) -> int:
+        return int(self.cum_hits[min(max(rows, 0), self.table_rows)])
+
+    def hit_rate_at(self, rows: int) -> float:
+        """HBM hit rate with ``rows`` resident (1.0 for an empty trace);
+        monotone non-decreasing in ``rows`` by the stack property."""
+        if self.n_accesses == 0:
+            return 1.0
+        return self.hits_at(rows) / self.n_accesses
+
+    def unique_misses_at(self, rows: int) -> int:
+        """Distinct rows gathered from host per batch (bulk-fetch dedup)."""
+        k = min(max(rows, 0), self.table_rows)
+        return self.n_distinct - int(self.cum_unique[k])
+
+    def host_us_per_query(self, rows: int, link: HostLink) -> float:
+        """Per-query host-gather time at ``rows`` resident.
+
+        Bandwidth-priced (per-batch link latency is second-order for
+        bulk gathers): the representative table's deduplicated miss
+        bytes per query, times the ``tables`` statistically identical
+        tables sharing the grant.
+        """
+        miss_bytes = (
+            self.unique_misses_at(rows) * self.row_bytes * self.tables
+        )
+        per_query = miss_bytes / self.batch_size
+        return 1e6 * per_query / (link.bandwidth_gbps * 1e9)
+
+
+def tenant_hit_curve(
+    tenant: TenantSpec,
+    gpu: GpuSpec = A100_SXM4_80GB,
+    *,
+    num_sms: int = 2,
+    seed: int = 0,
+    drift_phase: int = 0,
+    profile_phase: int = 0,
+    drift_per_phase: float = 0.0,
+) -> TenantHitCurve:
+    """Price one tenant's cache-capacity curve at the simulation scale.
+
+    The popularity profile (admission order) comes from an offline
+    calibration trace at the honest seed offset — the same discipline
+    L2 pinning and :func:`repro.memstore.store.store_for_spec` use —
+    and the curve is evaluated on the tenant's serving trace.  Under
+    drift, ``drift_phase`` moves the served pattern while
+    ``profile_phase`` fixes what the arbiter *knew* when it profiled
+    (re-arbitration passes the previous phase).
+    """
+    scale = SimScale(name=f"tenancy{num_sms}", num_sms=num_sms)
+    workload = kernel_workload(gpu, tenant.model, scale)
+    spec = HOTNESS_PRESETS[tenant.dataset]
+    common = dict(
+        batch_size=workload.batch_size,
+        pooling_factor=workload.pooling_factor,
+        table_rows=workload.table_rows,
+    )
+    calib = generate_trace(spec, seed=seed + PROFILE_SEED_OFFSET, **common)
+    eval_trace = generate_trace(spec, seed=seed, **common)
+    if drift_per_phase > 0.0:
+        drift = DriftModel(drift_per_batch=drift_per_phase, seed=seed)
+        calib = drift.apply(calib, profile_phase)
+        eval_trace = drift.apply(eval_trace, drift_phase)
+    profile = popular_rows(calib, workload.table_rows)
+    cum_hits, cum_unique = hit_curve(
+        profile, eval_trace.indices, workload.table_rows
+    )
+    return TenantHitCurve(
+        tenant=tenant.name,
+        table_rows=workload.table_rows,
+        row_bytes=workload.row_bytes,
+        tables=tenant.model.num_tables,
+        batch_size=workload.batch_size,
+        n_accesses=len(eval_trace.indices),
+        n_distinct=len(np.unique(eval_trace.indices)),
+        floor_rows=int(np.ceil(
+            tenant.hbm_floor_fraction * workload.table_rows
+        )),
+        profile=profile,
+        cum_hits=cum_hits,
+        cum_unique=cum_unique,
+    )
+
+
+def zoo_hit_curves(
+    zoo: ZooSpec,
+    gpu: GpuSpec = A100_SXM4_80GB,
+    *,
+    num_sms: int = 2,
+    seed: int = 0,
+    drift_phase: int = 0,
+    profile_phase: int = 0,
+    drift_per_phase: float = 0.0,
+) -> dict[str, TenantHitCurve]:
+    """One capacity curve per tenant, keyed by tenant name."""
+    return {
+        tenant.name: tenant_hit_curve(
+            tenant, gpu, num_sms=num_sms, seed=seed,
+            drift_phase=drift_phase, profile_phase=profile_phase,
+            drift_per_phase=drift_per_phase,
+        )
+        for tenant in zoo.tenants
+    }
+
+
+@dataclass(frozen=True)
+class TenantGrant:
+    """One tenant's share of the GPU's HBM budget."""
+
+    tenant: str
+    granted_rows: int
+    granted_bytes: int
+    floor_rows: int
+    hit_rate: float
+
+    @property
+    def fully_resident(self) -> bool:
+        return self.hit_rate >= 1.0
+
+
+@dataclass(frozen=True)
+class ZooGrant:
+    """A full arbitration outcome: every byte of budget accounted for."""
+
+    budget_bytes: int
+    grants: dict[str, TenantGrant]
+    leftover_bytes: int
+
+    @property
+    def total_granted_bytes(self) -> int:
+        return sum(g.granted_bytes for g in self.grants.values())
+
+    @property
+    def hit_rates(self) -> dict[str, float]:
+        return {name: g.hit_rate for name, g in self.grants.items()}
+
+    def grant(self, tenant: str) -> TenantGrant:
+        try:
+            return self.grants[tenant]
+        except KeyError:
+            known = ", ".join(self.grants)
+            raise KeyError(f"no tenant {tenant!r}; known: {known}") from None
+
+
+def arbitrate(
+    budget_bytes: int,
+    curves: Mapping[str, TenantHitCurve],
+    *,
+    granularity: int = 256,
+) -> ZooGrant:
+    """Waterfill ``budget_bytes`` of HBM across the tenants' caches.
+
+    Floors are granted first (a :exc:`ValueError` if the contracts are
+    jointly infeasible — a floor must never be silently shaved), then
+    chunks of ``table_rows / granularity`` rows flow to the tenant
+    whose next chunk buys the largest hit-rate gain per byte (ties to
+    the lexicographically first tenant, for determinism).  The loop
+    stops only when no tenant can fit another chunk's first row or
+    every tenant with hits left ahead is fully resident, so the
+    leftover is exact change, not abandoned budget.
+    """
+    if budget_bytes < 0:
+        raise ValueError("budget_bytes must be >= 0")
+    if not curves:
+        raise ValueError("need at least one tenant curve")
+    floor_total = sum(c.floor_bytes for c in curves.values())
+    if floor_total > budget_bytes:
+        raise ValueError(
+            f"tenant floors need {floor_total} bytes but the budget is "
+            f"{budget_bytes}; shrink the floors or grow the budget"
+        )
+    granted = {name: c.floor_rows for name, c in curves.items()}
+    leftover = budget_bytes - floor_total
+
+    def chunk_rows(curve: TenantHitCurve) -> int:
+        return max(1, curve.table_rows // granularity)
+
+    def marginal(name: str) -> float:
+        """Hit-rate gain per byte of the tenant's next chunk."""
+        curve = curves[name]
+        g = granted[name]
+        step = min(chunk_rows(curve), curve.table_rows - g)
+        if step <= 0:
+            return -1.0
+        gain = curve.hits_at(g + step) - curve.hits_at(g)
+        rate = gain / curve.n_accesses if curve.n_accesses else 0.0
+        return rate / (step * curve.bytes_per_row)
+
+    # lazy max-heap of (-marginal, tenant); stale entries re-priced on pop
+    heap = [
+        (-marginal(name), name) for name in sorted(curves)
+        if granted[name] < curves[name].table_rows
+        and curves[name].hits_at(curves[name].table_rows)
+        > curves[name].hits_at(granted[name])
+    ]
+    heapq.heapify(heap)
+    # a tenant's marginal only moves when *it* is granted, and each
+    # grant pushes a re-priced entry, so every heap entry is current
+    while heap:
+        _, name = heapq.heappop(heap)
+        curve = curves[name]
+        affordable = leftover // curve.bytes_per_row
+        if affordable == 0:
+            continue  # cannot fit one more row; retire this tenant
+        step = min(
+            chunk_rows(curve), curve.table_rows - granted[name],
+            affordable,
+        )
+        granted[name] += step
+        leftover -= step * curve.bytes_per_row
+        if (
+            granted[name] < curve.table_rows
+            and curve.hits_at(curve.table_rows)
+            > curve.hits_at(granted[name])
+        ):
+            heapq.heappush(heap, (-marginal(name), name))
+    grants = {
+        name: TenantGrant(
+            tenant=name,
+            granted_rows=granted[name],
+            granted_bytes=granted[name] * curve.bytes_per_row,
+            floor_rows=curve.floor_rows,
+            hit_rate=curve.hit_rate_at(granted[name]),
+        )
+        for name, curve in curves.items()
+    }
+    return ZooGrant(
+        budget_bytes=budget_bytes,
+        grants=grants,
+        leftover_bytes=budget_bytes - sum(
+            g.granted_bytes for g in grants.values()
+        ),
+    )
+
+
+def rearbitrate_on_drift(
+    zoo: ZooSpec,
+    budget_bytes: int,
+    *,
+    drift_phase: int,
+    drift_per_phase: float,
+    gpu: GpuSpec = A100_SXM4_80GB,
+    num_sms: int = 2,
+    seed: int = 0,
+    granularity: int = 256,
+) -> ZooGrant:
+    """Re-run the arbitration after the zoo's popularity has drifted.
+
+    Strictly online: the *decision* curves are built entirely from the
+    previous phase's traffic (profile and marginal hit rates alike —
+    the arbiter re-profiles from what it has already seen and never
+    peeks at the pattern it is about to serve), and the returned
+    grants carry the *realized* hit rates of those decisions against
+    the drifted pattern actually served at ``drift_phase``.
+    """
+    if drift_phase < 1:
+        raise ValueError("drift_phase must be >= 1 (phase 0 is the "
+                         "initial arbitration)")
+    decision = zoo_hit_curves(
+        zoo, gpu, num_sms=num_sms, seed=seed,
+        drift_phase=drift_phase - 1, profile_phase=drift_phase - 1,
+        drift_per_phase=drift_per_phase,
+    )
+    grant = arbitrate(budget_bytes, decision, granularity=granularity)
+    realized = zoo_hit_curves(
+        zoo, gpu, num_sms=num_sms, seed=seed,
+        drift_phase=drift_phase, profile_phase=drift_phase - 1,
+        drift_per_phase=drift_per_phase,
+    )
+    grants = {
+        name: TenantGrant(
+            tenant=name,
+            granted_rows=g.granted_rows,
+            granted_bytes=g.granted_bytes,
+            floor_rows=g.floor_rows,
+            hit_rate=realized[name].hit_rate_at(g.granted_rows),
+        )
+        for name, g in grant.grants.items()
+    }
+    return ZooGrant(
+        budget_bytes=grant.budget_bytes,
+        grants=grants,
+        leftover_bytes=grant.leftover_bytes,
+    )
+
+
+def stores_for_grants(
+    grant: ZooGrant,
+    curves: Mapping[str, TenantHitCurve],
+    link: HostLink,
+    *,
+    policy: str = "static_hot",
+) -> dict[str, EmbeddingStore]:
+    """Materialize each tenant's granted share as a live
+    :class:`~repro.memstore.EmbeddingStore`, warmed with the top of its
+    profiled admission order — the same rows the curve priced."""
+    stores = {}
+    for name, tenant_grant in grant.grants.items():
+        curve = curves[name]
+        plan = TierPlan(
+            table_rows=curve.table_rows,
+            resident_rows=min(tenant_grant.granted_rows, curve.table_rows),
+            row_bytes=curve.row_bytes,
+            policy=policy,
+        )
+        stores[name] = EmbeddingStore(
+            plan, link,
+            hot_rows=curve.profile[:plan.resident_rows]
+            if 0 < plan.resident_rows < plan.table_rows else None,
+        )
+    return stores

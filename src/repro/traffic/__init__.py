@@ -17,6 +17,7 @@ from repro.traffic.scenario import (
     ScenarioSpec,
     ScenarioTrace,
     StationarySpec,
+    derive_seed,
     generate_arrivals,
     iter_arrivals,
     scenario_profile,
@@ -41,6 +42,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioTrace",
     "StationarySpec",
+    "derive_seed",
     "drift_phase_factors",
     "generate_arrivals",
     "iter_arrivals",

@@ -395,6 +395,19 @@ class DriftSpec(ScenarioSpec):
 # ----------------------------------------------------------------------
 # the single seeded entry points
 # ----------------------------------------------------------------------
+def derive_seed(seed: int, label: str) -> int:
+    """A stable sub-seed for ``label`` under a run-level ``seed``.
+
+    Multi-stream consumers (one arrival stream per tenant in a model
+    zoo, one per replica group, ...) need streams that are mutually
+    independent yet bit-reproducible from one run seed.  Hashing the
+    label keeps the derivation order-free: adding a tenant to a zoo
+    never perturbs the streams of the tenants already there.
+    """
+    digest = hashlib.sha256(f"{seed}|{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def generate_arrivals(spec: ScenarioSpec, seed: int = 0) -> ScenarioTrace:
     """Materialize one seeded arrival stream for a scenario."""
     return spec.sample(seed)

@@ -1,0 +1,169 @@
+"""Unit tests for hit curves, waterfilling arbitration, and drift."""
+
+import numpy as np
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB
+from repro.config.scale import SimScale
+from repro.core.embedding import kernel_workload
+from repro.datasets.generator import generate_trace
+from repro.datasets.spec import HOTNESS_PRESETS
+from repro.memstore.policy import hit_curve, make_policy
+from repro.memstore.store import HostLink
+from repro.tenancy import (
+    TenantSpec,
+    ZooSpec,
+    arbitrate,
+    rearbitrate_on_drift,
+    stores_for_grants,
+    tenant_hit_curve,
+    zoo_hit_curves,
+)
+from repro.tenancy.zoo import example_zoo
+
+_LINK = HostLink("pcie", 25.0, 10.0)
+
+
+# ----------------------------------------------------------------------
+# the stack-property curve matches the live policy exactly
+# ----------------------------------------------------------------------
+def test_hit_curve_matches_static_hot_policy_at_every_capacity():
+    rng = np.random.default_rng(3)
+    table = 64
+    profile = rng.permutation(table)[:40]
+    accesses = rng.integers(0, table, 400)
+    cum_hits, cum_unique = hit_curve(profile, accesses, table)
+    assert cum_hits[0] == 0 and cum_unique[0] == 0
+    n_distinct = len(np.unique(accesses))
+    for capacity in range(table + 1):
+        policy = make_policy("static_hot", capacity)
+        policy.warm(profile[:capacity])
+        hits, fetches = policy.lookup(accesses)
+        assert hits == cum_hits[capacity], capacity
+        assert fetches == n_distinct - cum_unique[capacity], capacity
+
+
+def test_hit_curve_input_validation():
+    with pytest.raises(ValueError, match="repeat"):
+        hit_curve(np.array([1, 1]), np.array([0]), 4)
+    with pytest.raises(ValueError, match="profile rows"):
+        hit_curve(np.array([9]), np.array([0]), 4)
+    with pytest.raises(ValueError, match="accesses"):
+        hit_curve(np.array([1]), np.array([9]), 4)
+    cum_hits, cum_unique = hit_curve(
+        np.array([], dtype=np.int64), np.array([], dtype=np.int64), 3
+    )
+    assert list(cum_hits) == [0, 0, 0, 0]
+    assert list(cum_unique) == [0, 0, 0, 0]
+
+
+# ----------------------------------------------------------------------
+# arbitration mechanics
+# ----------------------------------------------------------------------
+def test_arbitrate_rejects_infeasible_floors():
+    curves = zoo_hit_curves(
+        example_zoo(2, hbm_floor_fraction=0.5), num_sms=2, seed=0
+    )
+    floors = sum(c.floor_bytes for c in curves.values())
+    with pytest.raises(ValueError, match="floors"):
+        arbitrate(floors - 1, curves)
+    grant = arbitrate(floors, curves)
+    for name, curve in curves.items():
+        assert grant.grant(name).granted_rows >= curve.floor_rows
+
+
+def test_arbitrate_validation():
+    with pytest.raises(ValueError, match="budget"):
+        arbitrate(-1, {})
+    with pytest.raises(ValueError, match="at least one"):
+        arbitrate(0, {})
+
+
+def test_arbitrate_prefers_higher_marginal_hit_rate():
+    """The hotter tenant's cache fills first under a tight budget."""
+    zoo = example_zoo(2, hbm_floor_fraction=0.0)  # med_hot + high_hot
+    curves = zoo_hit_curves(zoo, num_sms=2, seed=0)
+    hot, med = curves["high_hot"], curves["med_hot"]
+    budget = 4 * max(hot.bytes_per_row, med.bytes_per_row)
+    grant = arbitrate(budget, curves)
+    # per byte, the hot dataset's first rows buy far more hits
+    hot_density = grant.grant("high_hot").hit_rate
+    med_density = grant.grant("med_hot").hit_rate
+    assert hot_density > med_density
+
+
+def test_stores_for_grants_reproduce_granted_hit_rates():
+    zoo = example_zoo(2, hbm_floor_fraction=0.01)
+    curves = zoo_hit_curves(zoo, num_sms=2, seed=0)
+    budget = sum(c.table_bytes for c in curves.values()) // 25
+    grant = arbitrate(budget, curves)
+    stores = stores_for_grants(grant, curves, _LINK)
+    for tenant in zoo.tenants:
+        workload = kernel_workload(
+            gpu=A100_SXM4_80GB,
+            model=tenant.model,
+            scale=SimScale(name="tenancy2", num_sms=2),
+        )
+        trace = generate_trace(
+            HOTNESS_PRESETS[tenant.dataset],
+            batch_size=workload.batch_size,
+            pooling_factor=workload.pooling_factor,
+            table_rows=workload.table_rows,
+            seed=0,
+        )
+        stats = stores[tenant.name].lookup(trace)
+        assert stats.hit_rate == pytest.approx(
+            grant.grant(tenant.name).hit_rate
+        )
+
+
+# ----------------------------------------------------------------------
+# drift re-arbitration
+# ----------------------------------------------------------------------
+def test_drift_decays_and_rearbitration_recovers():
+    zoo = example_zoo(3, hbm_floor_fraction=0.0)
+    curves = zoo_hit_curves(zoo, num_sms=2, seed=0)
+    budget = sum(c.table_bytes for c in curves.values()) // 20
+    initial = arbitrate(budget, curves)
+
+    def realized(phase, grants):
+        drifted = zoo_hit_curves(
+            zoo, num_sms=2, seed=0,
+            drift_phase=phase, profile_phase=0, drift_per_phase=0.3,
+        )
+        return {
+            name: drifted[name].hit_rate_at(g.granted_rows)
+            for name, g in grants.items()
+        }
+
+    stale = realized(3, initial.grants)
+    fresh = rearbitrate_on_drift(
+        zoo, budget, drift_phase=3, drift_per_phase=0.3, seed=0,
+    )
+    # drift away from the phase-0 profile decays the stale hit rates...
+    assert sum(stale.values()) < sum(initial.hit_rates.values())
+    # ...and re-profiling from the previous phase recovers, in aggregate
+    assert sum(fresh.hit_rates.values()) > sum(stale.values())
+    assert fresh.budget_bytes == budget
+    assert fresh.total_granted_bytes + fresh.leftover_bytes == budget
+
+
+def test_rearbitrate_requires_a_drifted_phase():
+    zoo = example_zoo(1)
+    with pytest.raises(ValueError, match="drift_phase"):
+        rearbitrate_on_drift(
+            zoo, 10**9, drift_phase=0, drift_per_phase=0.2,
+        )
+
+
+def test_tenant_hit_curve_floor_and_host_accounting():
+    tenant = TenantSpec(name="t", dataset="med_hot",
+                        hbm_floor_fraction=0.1)
+    curve = tenant_hit_curve(tenant, num_sms=2, seed=0)
+    assert curve.floor_rows == int(np.ceil(0.1 * curve.table_rows))
+    assert curve.hit_rate_at(curve.table_rows) >= \
+        curve.hit_rate_at(0)
+    # fully resident: nothing crosses the link
+    assert curve.unique_misses_at(curve.table_rows) == 0
+    assert curve.host_us_per_query(curve.table_rows, _LINK) == 0.0
+    assert curve.host_us_per_query(0, _LINK) > 0.0

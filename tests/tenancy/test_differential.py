@@ -1,0 +1,157 @@
+"""Differential: a 1-tenant zoo adds ZERO perturbation when degenerate.
+
+The zoo layer wraps the existing single-model serving paths; when the
+zoo holds one tenant there is no co-runner, the contention factor is
+exactly 1.0, and the layer must reproduce the underlying simulators
+*field-identically* — same floats, not approximately equal floats.
+Seeded across spec/scenario combinations covering every scenario
+shape, both batcher families, several fleets and routing policies.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config.gpu import A100_SXM4_80GB, H100_NVL
+from repro.config.model import PAPER_MODEL
+from repro.core.serving import (
+    BatchingPolicy,
+    ContinuousBatching,
+    serve_stream,
+)
+from repro.fleet import FleetSpec, simulate_fleet_stream
+from repro.tenancy import (
+    ShareDemand,
+    TenantSpec,
+    ZooSpec,
+    simulate_zoo_fleet,
+    simulate_zoo_serving,
+)
+from repro.traffic.scenario import (
+    DiurnalSpec,
+    DriftSpec,
+    FlashCrowdSpec,
+    MMPPSpec,
+    StationarySpec,
+)
+
+
+def _toy(batch: int) -> float:
+    return 10.0 + 0.01 * batch
+
+
+def _fast(batch: int) -> float:
+    return 6.0 + 0.006 * batch
+
+
+def _tenant(scenario, *, sla_ms=40.0, dataset="med_hot"):
+    return TenantSpec(
+        name="only", model=PAPER_MODEL, dataset=dataset,
+        scenario=scenario, sla_ms=sla_ms,
+    )
+
+
+_A = A100_SXM4_80GB
+_H = H100_NVL
+
+#: >= 10 seeded spec/scenario combos: every scenario shape, varied
+#: loads/durations/SLAs, both fleet shapes, all four routing policies.
+CASES = [
+    (StationarySpec(base_qps=800, duration_s=3.0), 40.0, "jsq",
+     {_A: 1}, 0),
+    (StationarySpec(base_qps=2500, duration_s=2.0), 25.0, "round-robin",
+     {_A: 2}, 1),
+    (DiurnalSpec(base_qps=1500, duration_s=4.0, amplitude=0.7), 30.0,
+     "least-latency", {_A: 1, _H: 1}, 2),
+    (DiurnalSpec(base_qps=900, duration_s=3.0, amplitude=0.4), 60.0,
+     "power-of-two", {_A: 2, _H: 1}, 3),
+    (FlashCrowdSpec(base_qps=700, duration_s=4.0, spike_at_s=1.5,
+                    magnitude=6.0), 35.0, "jsq", {_A: 2}, 4),
+    (FlashCrowdSpec(base_qps=1200, duration_s=3.0, spike_at_s=1.0,
+                    magnitude=4.0, ramp_s=0.2, decay_s=0.5), 20.0,
+     "least-latency", {_H: 2}, 5),
+    (MMPPSpec(base_qps=1000, duration_s=4.0, burst_multiplier=4.0),
+     45.0, "jsq", {_A: 1, _H: 1}, 6),
+    (MMPPSpec(base_qps=600, duration_s=5.0, burst_multiplier=6.0,
+              mean_calm_s=1.0, mean_burst_s=0.3), 50.0, "round-robin",
+     {_A: 3}, 7),
+    (DriftSpec(base_qps=1100, duration_s=4.0, n_phases=4), 30.0,
+     "power-of-two", {_A: 1}, 8),
+    (DriftSpec(base_qps=1800, duration_s=3.0, n_phases=3,
+               drift_per_phase=0.3), 25.0, "jsq", {_H: 1}, 9),
+    (StationarySpec(base_qps=4000, duration_s=2.0), 15.0,
+     "least-latency", {_A: 2, _H: 2}, 10),
+    (DiurnalSpec(base_qps=2200, duration_s=5.0, amplitude=0.6), 40.0,
+     "jsq", {_A: 1, _H: 2}, 11),
+]
+
+
+@pytest.mark.parametrize(
+    "scenario, sla_ms, policy, mix, seed", CASES,
+    ids=[f"case{i}-{c[0].kind}" for i, c in enumerate(CASES)],
+)
+def test_one_tenant_zoo_matches_fleet_stream(
+    scenario, sla_ms, policy, mix, seed
+):
+    tenant = _tenant(scenario, sla_ms=sla_ms)
+    zoo = ZooSpec(name="solo", tenants=(tenant,))
+    fleet = FleetSpec.mixed(mix, name="diff-fleet")
+    models = {_A.name: _toy, _H.name: _fast}
+
+    zoo_report = simulate_zoo_fleet(
+        zoo, fleet, {"only": models}, policy=policy, seed=seed,
+    )
+    direct = simulate_fleet_stream(
+        fleet, models, tenant.stream(seed),
+        policy=policy, sla_ms=sla_ms, seed=seed,
+    )
+    # dataclass equality compares every field, including the nested
+    # per-replica reports and per-phase stats — bit-identical or bust
+    assert zoo_report.tenant_reports["only"] == direct
+    assert zoo_report.contention == {
+        replica.name: {"only": 1.0} for replica in fleet.replicas
+    }
+    assert zoo_report.aggregate_goodput_qps == direct.goodput_qps
+
+
+@pytest.mark.parametrize(
+    "scenario, sla_ms, policy, mix, seed", CASES,
+    ids=[f"case{i}-{c[0].kind}" for i, c in enumerate(CASES)],
+)
+def test_one_tenant_zoo_matches_serve_stream(
+    scenario, sla_ms, policy, mix, seed
+):
+    del policy, mix  # single-GPU path: only the scenario matters
+    tenant = _tenant(scenario, sla_ms=sla_ms)
+    zoo = ZooSpec(name="solo", tenants=(tenant,))
+    batcher = (
+        BatchingPolicy(max_batch=512, timeout_ms=2.0) if seed % 2
+        else ContinuousBatching(max_batch=512, sla_ms=sla_ms)
+    )
+    zoo_report = simulate_zoo_serving(
+        zoo, {"only": _toy}, policies={"only": batcher}, seed=seed,
+    )
+    direct = serve_stream(
+        _toy, tenant.stream(seed), policy=batcher, sla_ms=sla_ms,
+        scheme_name=tenant.scheme.name,
+    )
+    assert zoo_report.tenant_reports["only"] == direct
+    assert zoo_report.contention == {"only": 1.0}
+
+
+def test_one_tenant_zoo_identity_survives_calibrated_demand():
+    """Even a fully-demanding solo tenant must see factor exactly 1.0."""
+    tenant = _tenant(StationarySpec(base_qps=1500, duration_s=2.0))
+    zoo = ZooSpec(name="solo", tenants=(tenant,))
+    report = simulate_zoo_serving(
+        zoo, {"only": _toy},
+        demands={"only": ShareDemand(1.0, 1.0)}, seed=3,
+    )
+    direct = serve_stream(
+        _toy, tenant.stream(3), sla_ms=tenant.sla_ms,
+        scheme_name=tenant.scheme.name,
+    )
+    assert report.tenant_reports["only"] == direct
+    # the report really is the same object graph, not a recomputation
+    assert dataclasses.asdict(report.tenant_reports["only"]) \
+        == dataclasses.asdict(direct)

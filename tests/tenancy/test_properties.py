@@ -1,0 +1,179 @@
+"""Property-based tenancy invariants (hypothesis).
+
+The structural guarantees multi-tenant serving must never lose:
+
+* interference — the contention factor is always >= 1.0, *exactly*
+  1.0 when solo, and monotone non-decreasing in every co-runner's
+  load;
+* arbitration — the HBM budget is conserved in exact integer
+  arithmetic, no tenant is ever granted less than its floor, grants
+  never exceed a tenant's table, and no affordable useful chunk is
+  left on the table;
+* cache curves — per-tenant hit rate is monotone non-decreasing in
+  the granted share (the stack property, surfaced through
+  :func:`repro.memstore.policy.hit_curve`).
+
+``derandomize=True`` keeps CI deterministic (hypothesis still explores
+the space, from a fixed seed).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memstore.policy import hit_curve
+from repro.tenancy.arbiter import TenantHitCurve, arbitrate
+from repro.tenancy.share import ShareDemand, contention_factor
+
+SETTINGS = dict(max_examples=60, deadline=None, derandomize=True)
+
+_fractions = st.floats(0.0, 1.0)
+_loads = st.floats(0.0, 1.0)
+
+_demands = st.builds(
+    ShareDemand, sm_fraction=_fractions, hbm_fraction=_fractions
+)
+
+_co_runners = st.lists(
+    st.tuples(_demands, _loads), min_size=0, max_size=5
+)
+
+
+# ----------------------------------------------------------------------
+# interference
+# ----------------------------------------------------------------------
+@given(own=_demands, co=_co_runners)
+@settings(**SETTINGS)
+def test_contention_factor_at_least_one(own, co):
+    assert contention_factor(own, co) >= 1.0
+
+
+@given(own=_demands)
+@settings(**SETTINGS)
+def test_contention_factor_exactly_one_solo(own):
+    assert contention_factor(own, []) == 1.0
+    # co-runners contributing zero load are as good as absent
+    idle = [(ShareDemand(1.0, 1.0), 0.0)]
+    assert contention_factor(own, idle) == 1.0
+
+
+@given(
+    own=_demands,
+    co=st.lists(st.tuples(_demands, _loads), min_size=1, max_size=5),
+    which=st.integers(0, 4),
+    bump=st.floats(0.0, 1.0),
+)
+@settings(**SETTINGS)
+def test_contention_factor_monotone_in_co_runner_load(
+    own, co, which, bump
+):
+    index = which % len(co)
+    demand, load = co[index]
+    bumped = list(co)
+    bumped[index] = (demand, min(1.0, load + bump))
+    assert contention_factor(own, bumped) >= contention_factor(own, co)
+
+
+# ----------------------------------------------------------------------
+# arbitration over synthetic curves (no kernel simulation)
+# ----------------------------------------------------------------------
+def _curve(name, rng, *, floor_fraction):
+    table_rows = int(rng.integers(8, 64))
+    profile = rng.permutation(table_rows)[: int(rng.integers(1, table_rows))]
+    accesses = rng.integers(0, table_rows, int(rng.integers(1, 200)))
+    cum_hits, cum_unique = hit_curve(profile, accesses, table_rows)
+    return TenantHitCurve(
+        tenant=name,
+        table_rows=table_rows,
+        row_bytes=int(rng.choice([64, 128, 512])),
+        tables=int(rng.integers(1, 8)),
+        batch_size=8,
+        n_accesses=len(accesses),
+        n_distinct=len(np.unique(accesses)),
+        floor_rows=int(np.ceil(floor_fraction * table_rows)),
+        profile=profile,
+        cum_hits=cum_hits,
+        cum_unique=cum_unique,
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_tenants=st.integers(1, 4),
+    budget_scale=st.floats(0.0, 1.5),
+    floor_fraction=st.floats(0.0, 0.2),
+)
+@settings(**SETTINGS)
+def test_arbiter_conserves_budget_and_floors(
+    seed, n_tenants, budget_scale, floor_fraction
+):
+    rng = np.random.default_rng(seed)
+    curves = {
+        f"t{i}": _curve(f"t{i}", rng, floor_fraction=floor_fraction)
+        for i in range(n_tenants)
+    }
+    floors = sum(c.floor_bytes for c in curves.values())
+    total = sum(c.table_bytes for c in curves.values())
+    budget = max(floors, int(budget_scale * total))
+    grant = arbitrate(budget, curves, granularity=8)
+
+    # exact conservation: every byte is granted or left over
+    assert grant.total_granted_bytes + grant.leftover_bytes == budget
+    assert grant.leftover_bytes >= 0
+    for name, curve in curves.items():
+        g = grant.grant(name)
+        # the floor is contractual, the table is the ceiling
+        assert g.granted_rows >= curve.floor_rows
+        assert g.granted_rows <= curve.table_rows
+        assert g.granted_bytes == g.granted_rows * curve.bytes_per_row
+        assert g.hit_rate == curve.hit_rate_at(g.granted_rows)
+    # no affordable useful row was left behind: any tenant with hits
+    # still ahead either saturated or can no longer fit one row
+    for name, curve in curves.items():
+        g = grant.grant(name)
+        hits_ahead = (
+            curve.hits_at(curve.table_rows) > curve.hits_at(g.granted_rows)
+        )
+        if hits_ahead:
+            assert grant.leftover_bytes < curve.bytes_per_row
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    rows_a=st.integers(0, 64),
+    rows_b=st.integers(0, 64),
+)
+@settings(**SETTINGS)
+def test_hit_rate_monotone_in_granted_share(seed, rows_a, rows_b):
+    rng = np.random.default_rng(seed)
+    curve = _curve("t", rng, floor_fraction=0.0)
+    lo, hi = sorted(
+        (min(rows_a, curve.table_rows), min(rows_b, curve.table_rows))
+    )
+    assert curve.hit_rate_at(hi) >= curve.hit_rate_at(lo)
+    # and the host gather shrinks as the share grows
+    assert curve.unique_misses_at(hi) <= curve.unique_misses_at(lo)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    budget_scale=st.floats(0.0, 1.0),
+    extra=st.floats(0.0, 0.5),
+)
+@settings(**SETTINGS)
+def test_single_tenant_grant_monotone_in_budget(
+    seed, budget_scale, extra
+):
+    """With one tenant there is no knapsack effect: a bigger budget
+    never shrinks the grant or the hit rate.  (Across tenants,
+    indivisible rows of different sizes make per-tenant budget
+    monotonicity unattainable for any allocator — only the per-share
+    monotonicity above is structural.)"""
+    rng = np.random.default_rng(seed)
+    curves = {"t": _curve("t", rng, floor_fraction=0.0)}
+    total = curves["t"].table_bytes
+    small = arbitrate(int(budget_scale * total), curves, granularity=8)
+    large = arbitrate(
+        int((budget_scale + extra) * total), curves, granularity=8
+    )
+    assert large.grant("t").granted_rows >= small.grant("t").granted_rows
+    assert large.grant("t").hit_rate >= small.grant("t").hit_rate

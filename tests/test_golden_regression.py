@@ -31,6 +31,13 @@ from repro.datasets.generator import generate_trace
 from repro.datasets.spec import HOTNESS_PRESETS
 from repro.fleet import FleetSpec, simulate_fleet, tiered_latency_model
 from repro.memstore import HostLink, store_for_spec
+from repro.tenancy import (
+    ShareDemand,
+    arbitrate,
+    example_zoo,
+    simulate_zoo_serving,
+    zoo_hit_curves,
+)
 from repro.traffic import (
     StationarySpec,
     scenario_profile,
@@ -144,6 +151,60 @@ def _memstore_summary() -> dict:
     }
 
 
+def _tenancy_summary() -> dict:
+    """A 3-tenant zoo end to end, pinned tenant by tenant.
+
+    Arbitration (grants, hit rates, exact conservation) runs on the
+    real per-tenant cache curves at the 2-SM scale; serving runs the
+    two-pass interference model over toy latency curves with fixed
+    demands, so the snapshot pins the zoo layer itself — contention
+    factors, per-tenant p99/goodput/SLA attainment, threaded hit
+    rates — without dragging the kernel simulator in.
+    """
+    zoo = example_zoo(
+        3, base_qps=900.0, duration_s=4.0, sla_ms=45.0,
+        hbm_floor_fraction=0.01,
+    )
+    curves = zoo_hit_curves(zoo, num_sms=2, seed=13)
+    budget = sum(c.table_bytes for c in curves.values()) // 20
+    grant = arbitrate(budget, curves)
+
+    link = HostLink("pcie", 25.0, 10.0)
+    base = {"med_hot": _toy_model, "high_hot": _fast_toy_model,
+            "low_hot": _toy_model}
+    models = {
+        name: tiered_latency_model(
+            base[name],
+            host_us_per_query=curves[name].host_us_per_query(
+                grant.grant(name).granted_rows, link
+            ),
+        )
+        for name in zoo.tenant_names
+    }
+    demands = {
+        "med_hot": ShareDemand(0.6, 0.3),
+        "high_hot": ShareDemand(0.9, 0.1),
+        "low_hot": ShareDemand(0.5, 0.4),
+    }
+    report = simulate_zoo_serving(
+        zoo, models, demands=demands,
+        phase_hit_rates={
+            name: (grant.grant(name).hit_rate,)
+            for name in zoo.tenant_names
+        },
+        seed=13,
+    )
+    return {
+        "budget_bytes": grant.budget_bytes,
+        "leftover_bytes": grant.leftover_bytes,
+        "grants": {
+            name: dataclasses.asdict(g)
+            for name, g in grant.grants.items()
+        },
+        "report": dataclasses.asdict(report),
+    }
+
+
 def _assert_matches(actual, golden, path=""):
     if isinstance(golden, dict):
         assert isinstance(actual, dict), path
@@ -176,6 +237,7 @@ def _tuples_to_lists(obj):
     ("serving", _serving_summary),
     ("fleet", _fleet_summary),
     ("memstore", _memstore_summary),
+    ("tenancy", _tenancy_summary),
 ])
 def test_golden_snapshot(name, build):
     golden_path = GOLDEN_DIR / f"{name}.json"
