@@ -37,6 +37,9 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.telemetry.events import ArrivalBlock, BatchBlock, StreamRun
+from repro.telemetry.sinks import Sink, emit_run
+
 #: A batch-latency curve: batch size -> milliseconds.
 LatencyModel = Callable[[int], float]
 
@@ -113,8 +116,19 @@ class ContinuousBatching:
         return f"continuous(max={self.max_batch}{sla})"
 
 
+class ReportSlaMixin:
+    """Shared SLA check over a report's ``p50_ms``/``p95_ms``/``p99_ms``.
+
+    One implementation for every report class (serving, stream, fleet)
+    so the percentile-name validation can never drift between them.
+    """
+
+    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
+        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
+
+
 @dataclass(frozen=True)
-class ServingReport:
+class ServingReport(ReportSlaMixin):
     """Latency distribution of one simulated serving run."""
 
     scheme_name: str
@@ -125,9 +139,6 @@ class ServingReport:
     p99_ms: float
     mean_batch_size: float
     gpu_utilization: float
-
-    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
-        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
 
 
 @dataclass(frozen=True)
@@ -214,7 +225,7 @@ def find_phase(
 
 
 @dataclass(frozen=True)
-class StreamReport:
+class StreamReport(ReportSlaMixin):
     """One serving run over an arrival stream, with per-phase detail.
 
     ``hit_rate`` is the query-weighted HBM-cache hit rate across phases
@@ -236,9 +247,6 @@ class StreamReport:
     gpu_utilization: float
     phases: tuple[PhaseStats, ...]
     hit_rate: float | None = None
-
-    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
-        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
 
     @property
     def offered_qps(self) -> float:
@@ -339,21 +347,24 @@ def _serve_arrays(
     phase_ids: np.ndarray,
     exec_ms: Sequence[LatencyModel],
     policy: BatchingPolicy | ContinuousBatching,
-) -> tuple[np.ndarray, list[int], float, float]:
+) -> tuple[list[float], list[float], list[int]]:
     """Serve time-sorted arrivals on one GPU; the shared event loop.
 
-    Returns per-query latencies (seconds, in arrival order), per-batch
-    sizes, total busy seconds, and the time the GPU finally went idle.
+    Returns the per-batch columns in dispatch order — start times
+    (seconds), execution seconds, and sizes.  Everything the reports
+    carry (per-query latencies, busy time, utilization) derives from
+    these columns via the pure folds below, which is what lets a
+    recorded run replay field-identical without re-running this loop.
     A batch's execution time comes from the latency model of its oldest
     query's phase (phases are long relative to batches, so mixed
     batches are rare and the approximation is second-order).
     """
     n = len(times)
-    done_at = np.empty(n)
+    batch_starts: list[float] = []
+    batch_exec: list[float] = []
     batch_sizes: list[int] = []
     continuous = isinstance(policy, ContinuousBatching)
     gpu_free = 0.0
-    busy = 0.0
     head = 0
     while head < n:
         first_t = times[head]
@@ -387,13 +398,32 @@ def _serve_arrays(
                 size = waiting
                 start = threshold
         exec_s = exec_ms[phase_ids[head]](size) / 1e3
-        done = start + exec_s
-        done_at[head:head + size] = done
-        busy += exec_s
-        gpu_free = done
+        gpu_free = start + exec_s
+        batch_starts.append(float(start))
+        batch_exec.append(exec_s)
         batch_sizes.append(size)
         head += size
-    return done_at - times, batch_sizes, busy, gpu_free
+    return batch_starts, batch_exec, batch_sizes
+
+
+def _batch_latencies_ms(
+    arrivals: ArrivalBlock, batches: BatchBlock
+) -> tuple[np.ndarray, float, float]:
+    """Shared fold core: (per-query latencies ms, busy s, gpu-idle-at s).
+
+    ``done_at`` assigns each query its batch's completion time by
+    repeating ``starts + exec_s`` per batch size — the identical IEEE
+    operations the live loop performed, so the bits match.  ``busy`` is
+    a sequential left-fold to mirror the loop's ``busy += exec_s``
+    accumulation order (numpy's pairwise sum would differ in the last
+    ulps).
+    """
+    done = batches.starts + batches.exec_s
+    done_at = np.repeat(done, batches.sizes)
+    latencies_ms = (done_at - arrivals.times) * 1e3
+    busy = float(sum(batches.exec_s.tolist()))
+    gpu_free = float(done[-1]) if len(done) else 0.0
+    return latencies_ms, busy, gpu_free
 
 
 def _resolve_phase_models(
@@ -418,7 +448,80 @@ def _resolve_phase_models(
     return models
 
 
-def serve_stream(
+def fold_stream_report(run: StreamRun) -> StreamReport:
+    """Pure fold: a recorded :class:`StreamRun` into its report.
+
+    The live :func:`serve_stream` and the replay decoder both derive
+    their reports through this one function, so a recorded run replays
+    field-identical by construction — no simulator in sight.
+    """
+    meta = run.meta
+    times = run.arrivals.times
+    phase_ids = np.asarray(run.arrivals.phase_ids)
+    phases = tuple(meta["phases"])
+    sla_ms = meta["sla_ms"]
+    duration_s = meta["duration_s"]
+    hit_rates = meta.get("phase_hit_rates")
+    latencies_ms, busy, gpu_free = _batch_latencies_ms(
+        run.arrivals, run.batches
+    )
+    within = (
+        latencies_ms <= sla_ms if sla_ms is not None
+        else np.ones(len(times), dtype=bool)
+    )
+    phase_stats = phase_breakdown(
+        latencies_ms, phase_ids, phases,
+        tuple(meta["phase_durations"]), sla_ms,
+        phase_hit_rates=hit_rates,
+    )
+    hit_rate = None
+    if hit_rates is not None:
+        # the stream is non-empty (serve_stream checked), counts >= 1
+        counts = np.bincount(phase_ids, minlength=len(phases))
+        rates = np.asarray(hit_rates, dtype=float)
+        hit_rate = float((rates * counts).sum() / counts.sum())
+    horizon = max(gpu_free, float(times[-1]), duration_s)
+    return StreamReport(
+        scenario=meta["scenario"],
+        scheme_name=meta["scheme_name"],
+        batcher=meta["batcher"],
+        sla_ms=sla_ms,
+        n_queries=len(times),
+        duration_s=duration_s,
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p95_ms=float(np.percentile(latencies_ms, 95)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        goodput_qps=float(within.sum()) / duration_s,
+        sla_hit_pct=100.0 * float(within.sum()) / len(times),
+        mean_batch_size=float(np.mean(run.batches.sizes)),
+        gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
+        phases=phase_stats,
+        hit_rate=hit_rate,
+    )
+
+
+def fold_serving_report(run: StreamRun) -> ServingReport:
+    """Pure fold: a recorded Poisson run (``kind="serving"``) into its
+    :class:`ServingReport`; shared by live simulation and replay."""
+    meta = run.meta
+    times = run.arrivals.times
+    latencies_ms, busy, gpu_free = _batch_latencies_ms(
+        run.arrivals, run.batches
+    )
+    horizon = max(gpu_free, float(times[-1]))
+    return ServingReport(
+        scheme_name=meta["scheme_name"],
+        qps=meta["qps"],
+        n_queries=len(times),
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p95_ms=float(np.percentile(latencies_ms, 95)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        mean_batch_size=float(np.mean(run.batches.sizes)),
+        gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
+    )
+
+
+def _serve_stream_run(
     latency_ms: LatencyModel | Sequence[LatencyModel]
                 | Mapping[str, LatencyModel],
     stream,
@@ -427,17 +530,9 @@ def serve_stream(
     sla_ms: float | None = None,
     scheme_name: str = "scheme",
     phase_hit_rates: Sequence[float] | None = None,
-) -> StreamReport:
-    """Serve one arrival stream on one GPU and report per-phase tails.
-
-    ``stream`` is any object with the :class:`repro.traffic.ScenarioTrace`
-    shape: ``name``, time-sorted ``times`` (seconds), ``phase_ids``,
-    ``phases`` (names), ``phase_durations`` and ``duration_s``.  The
-    default policy is :class:`ContinuousBatching` with its batch sizing
-    adapted to ``sla_ms``.  ``phase_hit_rates`` (one HBM-cache hit rate
-    per phase, from a tiered memstore calibration) is threaded into the
-    per-phase stats and aggregated query-weighted into the report.
-    """
+    tenant: str | None = None,
+) -> tuple[StreamReport, StreamRun]:
+    """Run the event loop and package (report, run record)."""
     if len(stream.times) == 0:
         raise ValueError(f"arrival stream {stream.name!r} is empty")
     if stream.duration_s <= 0:
@@ -449,43 +544,110 @@ def serve_stream(
     models = _resolve_phase_models(latency_ms, stream.phases)
     times = np.asarray(stream.times, dtype=float)
     phase_ids = np.asarray(stream.phase_ids)
-    latencies_s, batch_sizes, busy, gpu_free = _serve_arrays(
-        times, phase_ids, models, policy
+    starts, exec_s, sizes = _serve_arrays(times, phase_ids, models, policy)
+    phases = tuple(stream.phases)
+    meta = {
+        "kind": "stream",
+        "scenario": stream.name,
+        "scheme_name": scheme_name,
+        "batcher": policy.label,
+        "sla_ms": sla_ms,
+        "duration_s": stream.duration_s,
+        "phases": list(phases),
+        "phase_durations": [float(d) for d in stream.phase_durations],
+        "phase_hit_rates": (
+            None if phase_hit_rates is None
+            else [float(r) for r in phase_hit_rates]
+        ),
+    }
+    if tenant is not None:
+        meta["tenant"] = tenant
+    run = StreamRun(
+        meta=meta,
+        arrivals=ArrivalBlock(
+            times=times,
+            phase_ids=np.asarray(phase_ids, dtype=np.int64),
+            phases=phases,
+        ),
+        batches=BatchBlock(
+            starts=np.asarray(starts, dtype=float),
+            exec_s=np.asarray(exec_s, dtype=float),
+            sizes=np.asarray(sizes, dtype=np.int64),
+            phases=phases,
+        ),
     )
-    latencies_ms = latencies_s * 1e3
-    within = (
-        latencies_ms <= sla_ms if sla_ms is not None
-        else np.ones(len(times), dtype=bool)
+    return fold_stream_report(run), run
+
+
+def serve_stream(
+    latency_ms: LatencyModel | Sequence[LatencyModel]
+                | Mapping[str, LatencyModel],
+    stream,
+    *,
+    policy: BatchingPolicy | ContinuousBatching | None = None,
+    sla_ms: float | None = None,
+    scheme_name: str = "scheme",
+    phase_hit_rates: Sequence[float] | None = None,
+    sink: Sink | None = None,
+) -> StreamReport:
+    """Serve one arrival stream on one GPU and report per-phase tails.
+
+    ``stream`` is any object with the :class:`repro.traffic.ScenarioTrace`
+    shape: ``name``, time-sorted ``times`` (seconds), ``phase_ids``,
+    ``phases`` (names), ``phase_durations`` and ``duration_s``.  The
+    default policy is :class:`ContinuousBatching` with its batch sizing
+    adapted to ``sla_ms``.  ``phase_hit_rates`` (one HBM-cache hit rate
+    per phase, from a tiered memstore calibration) is threaded into the
+    per-phase stats and aggregated query-weighted into the report.
+
+    The run's telemetry (arrival/batch blocks bracketed by
+    ``run_start``/``run_end``) goes to ``sink``, falling back to the
+    ambient default (:func:`repro.telemetry.sinks.use_sink`); with no
+    sink installed nothing is emitted.
+    """
+    report, run = _serve_stream_run(
+        latency_ms, stream, policy=policy, sla_ms=sla_ms,
+        scheme_name=scheme_name, phase_hit_rates=phase_hit_rates,
     )
-    phase_stats = phase_breakdown(
-        latencies_ms, phase_ids, tuple(stream.phases),
-        tuple(stream.phase_durations), sla_ms,
-        phase_hit_rates=phase_hit_rates,
-    )
-    hit_rate = None
-    if phase_hit_rates is not None:
-        # the stream is non-empty (checked above), so counts.sum() >= 1
-        counts = np.bincount(phase_ids, minlength=len(stream.phases))
-        rates = np.asarray(phase_hit_rates, dtype=float)
-        hit_rate = float((rates * counts).sum() / counts.sum())
-    horizon = max(gpu_free, float(times[-1]), stream.duration_s)
-    return StreamReport(
-        scenario=stream.name,
-        scheme_name=scheme_name,
-        batcher=policy.label,
-        sla_ms=sla_ms,
-        n_queries=len(times),
-        duration_s=stream.duration_s,
-        p50_ms=float(np.percentile(latencies_ms, 50)),
-        p95_ms=float(np.percentile(latencies_ms, 95)),
-        p99_ms=float(np.percentile(latencies_ms, 99)),
-        goodput_qps=float(within.sum()) / stream.duration_s,
-        sla_hit_pct=100.0 * float(within.sum()) / len(times),
-        mean_batch_size=float(np.mean(batch_sizes)),
-        gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
-        phases=phase_stats,
-        hit_rate=hit_rate,
-    )
+    emit_run(sink, run)
+    return report
+
+
+def _serve_tenant_stream_runs(
+    latency_models: Mapping[str, LatencyModel | Sequence[LatencyModel]
+                            | Mapping[str, LatencyModel]],
+    streams: Mapping[str, object],
+    *,
+    policies: Mapping[str, BatchingPolicy | ContinuousBatching]
+              | None = None,
+    sla_ms: Mapping[str, float | None] | float | None = None,
+    scheme_names: Mapping[str, str] | None = None,
+    phase_hit_rates: Mapping[str, Sequence[float]] | None = None,
+) -> tuple[dict[str, StreamReport], dict[str, StreamRun]]:
+    """Per-tenant serves returning (reports, run records) by tenant."""
+    missing = sorted(set(streams) - set(latency_models))
+    if missing:
+        raise KeyError(f"no latency model for tenants {missing}")
+    reports: dict[str, StreamReport] = {}
+    runs: dict[str, StreamRun] = {}
+    for name in streams:
+        sla = (
+            sla_ms.get(name) if isinstance(sla_ms, Mapping) else sla_ms
+        )
+        reports[name], runs[name] = _serve_stream_run(
+            latency_models[name],
+            streams[name],
+            policy=policies.get(name) if policies else None,
+            sla_ms=sla,
+            scheme_name=(
+                scheme_names.get(name, name) if scheme_names else name
+            ),
+            phase_hit_rates=(
+                phase_hit_rates.get(name) if phase_hit_rates else None
+            ),
+            tenant=name,
+        )
+    return reports, runs
 
 
 def serve_tenant_streams(
@@ -498,6 +660,7 @@ def serve_tenant_streams(
     sla_ms: Mapping[str, float | None] | float | None = None,
     scheme_names: Mapping[str, str] | None = None,
     phase_hit_rates: Mapping[str, Sequence[float]] | None = None,
+    sink: Sink | None = None,
 ) -> dict[str, StreamReport]:
     """Serve several tenants' arrival streams, one report per tenant.
 
@@ -508,28 +671,16 @@ def serve_tenant_streams(
     other.  Every per-tenant argument is keyed by tenant name;
     ``sla_ms`` may also be a single number shared by all tenants.
     Each tenant's serve is *exactly* :func:`serve_stream` — a
-    one-tenant call is field-identical to calling it directly.
+    one-tenant call is field-identical to calling it directly.  Each
+    tenant's run record is emitted to ``sink`` (or the ambient default)
+    with ``meta["tenant"]`` set.
     """
-    missing = sorted(set(streams) - set(latency_models))
-    if missing:
-        raise KeyError(f"no latency model for tenants {missing}")
-    reports = {}
-    for name in streams:
-        sla = (
-            sla_ms.get(name) if isinstance(sla_ms, Mapping) else sla_ms
-        )
-        reports[name] = serve_stream(
-            latency_models[name],
-            streams[name],
-            policy=policies.get(name) if policies else None,
-            sla_ms=sla,
-            scheme_name=(
-                scheme_names.get(name, name) if scheme_names else name
-            ),
-            phase_hit_rates=(
-                phase_hit_rates.get(name) if phase_hit_rates else None
-            ),
-        )
+    reports, runs = _serve_tenant_stream_runs(
+        latency_models, streams, policies=policies, sla_ms=sla_ms,
+        scheme_names=scheme_names, phase_hit_rates=phase_hit_rates,
+    )
+    for run in runs.values():
+        emit_run(sink, run)
     return reports
 
 
@@ -541,6 +692,7 @@ def simulate_serving(
     policy: BatchingPolicy | ContinuousBatching | None = None,
     scheme_name: str = "scheme",
     seed: int = 0,
+    sink: Sink | None = None,
 ) -> ServingReport:
     """Discrete-event simulation of one GPU serving a Poisson stream.
 
@@ -549,7 +701,8 @@ def simulate_serving(
     :class:`ContinuousBatching` — onto a GPU that serves batches back to
     back.  Query latency = queueing + batching wait + batch execution.
     Non-stationary arrival processes go through :func:`serve_stream`
-    with a :mod:`repro.traffic` scenario instead.
+    with a :mod:`repro.traffic` scenario instead.  The run's telemetry
+    goes to ``sink`` (or the ambient default).
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -558,21 +711,31 @@ def simulate_serving(
     n = max(1, int(qps * duration_s))
     arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
 
-    latencies_s, batch_sizes, busy, gpu_free = _serve_arrays(
-        arrivals, np.zeros(n, dtype=np.int64), [batch_latency_ms], policy
+    phase_ids = np.zeros(n, dtype=np.int64)
+    starts, exec_s, sizes = _serve_arrays(
+        arrivals, phase_ids, [batch_latency_ms], policy
     )
-    latencies_ms = latencies_s * 1e3
-    horizon = max(gpu_free, float(arrivals[-1]))
-    return ServingReport(
-        scheme_name=scheme_name,
-        qps=qps,
-        n_queries=n,
-        p50_ms=float(np.percentile(latencies_ms, 50)),
-        p95_ms=float(np.percentile(latencies_ms, 95)),
-        p99_ms=float(np.percentile(latencies_ms, 99)),
-        mean_batch_size=float(np.mean(batch_sizes)),
-        gpu_utilization=float(busy / horizon) if horizon > 0 else 0.0,
+    run = StreamRun(
+        meta={
+            "kind": "serving",
+            "scheme_name": scheme_name,
+            "qps": qps,
+            "seed": seed,
+            "batcher": policy.label,
+        },
+        arrivals=ArrivalBlock(
+            times=arrivals, phase_ids=phase_ids, phases=("all",)
+        ),
+        batches=BatchBlock(
+            starts=np.asarray(starts, dtype=float),
+            exec_s=np.asarray(exec_s, dtype=float),
+            sizes=np.asarray(sizes, dtype=np.int64),
+            phases=("all",),
+        ),
     )
+    report = fold_serving_report(run)
+    emit_run(sink, run)
+    return report
 
 
 def max_sustainable_qps(

@@ -18,21 +18,23 @@ import numpy as np
 
 from repro.core.serving import (
     PhaseStats,
+    ReportSlaMixin,
     ServingReport,
     find_phase,
     phase_breakdown,
-    resolve_percentile_field,
 )
+from repro.telemetry.events import BatchBlock, FleetRun
 
 __all__ = [
     "FleetReport",
     "build_fleet_report",
+    "fold_fleet_report",
     "phase_breakdown",  # re-export: shared with core.serving
 ]
 
 
 @dataclass(frozen=True)
-class FleetReport:
+class FleetReport(ReportSlaMixin):
     """One fleet simulation: global latency tails + per-replica detail."""
 
     fleet_name: str
@@ -48,9 +50,6 @@ class FleetReport:
     goodput_qps: float = 0.0
     sla_hit_pct: float = 100.0
     phases: tuple[PhaseStats, ...] = ()
-
-    def meets_sla(self, sla_ms: float, percentile: str = "p99") -> bool:
-        return getattr(self, resolve_percentile_field(percentile)) <= sla_ms
 
     def phase(self, name: str) -> PhaseStats:
         return find_phase(self.phases, name)
@@ -127,4 +126,93 @@ def build_fleet_report(
         goodput_qps=within / duration_s if duration_s else 0.0,
         sla_hit_pct=100.0 * within / n,
         phases=phases,
+    )
+
+
+def _fold_replica_report(
+    block: BatchBlock, horizon: float
+) -> ServingReport:
+    """One replica's :class:`ServingReport` folded from its batch block.
+
+    ``ServingReport.scheme_name`` carries the *replica* name here: fleet
+    consumers (routed_fractions, per-replica tables) identify rows by
+    replica, and the kernel scheme lives on ``ReplicaSpec.scheme``.
+    """
+    member_times, _ = block.members()
+    done_at = np.repeat(block.done, block.sizes)
+    lat_ms = 1e3 * (done_at - member_times)
+    served = len(lat_ms)
+    busy = float(sum(block.exec_s.tolist()))
+    pct = (
+        (lambda q: float(np.percentile(lat_ms, q))) if served
+        else (lambda q: 0.0)
+    )
+    return ServingReport(
+        scheme_name=block.replica or "replica",
+        qps=served / horizon if horizon > 0 else 0.0,
+        n_queries=served,
+        p50_ms=pct(50),
+        p95_ms=pct(95),
+        p99_ms=pct(99),
+        mean_batch_size=(
+            float(np.mean(block.sizes)) if len(block) else 0.0
+        ),
+        gpu_utilization=busy / horizon if horizon > 0 else 0.0,
+    )
+
+
+def fold_fleet_report(run: FleetRun) -> FleetReport:
+    """Pure fold: a recorded :class:`FleetRun` into its report.
+
+    Shared by the live routed simulators and the replay decoder —
+    the latencies concatenate per replica in the run's replica order,
+    each replica's batches in dispatch order, members in queue-pop
+    order, exactly as the live simulation accumulated them, so the
+    fleet-wide percentiles match bit for bit.
+    """
+    meta = run.meta
+    times = run.arrivals.times
+    blocks = run.replicas
+    horizon = max(
+        float(times[-1]),
+        max(
+            (float(b.done[-1]) if len(b) else 0.0) for b in blocks
+        ),
+    )
+    replica_reports = tuple(
+        _fold_replica_report(b, horizon) for b in blocks
+    )
+    lat_parts = []
+    phase_parts = []
+    for b in blocks:
+        member_times, member_phases = b.members()
+        done_at = np.repeat(b.done, b.sizes)
+        lat_parts.append(done_at - member_times)
+        phase_parts.append(np.asarray(member_phases, dtype=np.int64))
+    all_latencies_ms = 1e3 * np.concatenate(lat_parts)
+    if meta["kind"] == "fleet_stream":
+        duration_s = meta["duration_s"]
+        sla_ms = meta["sla_ms"]
+        return build_fleet_report(
+            fleet_name=meta["fleet"],
+            policy=meta["policy"],
+            qps=len(times) / duration_s if duration_s else 0.0,
+            latencies_ms=all_latencies_ms,
+            replica_reports=replica_reports,
+            cost_units=meta["cost_units"],
+            sla_ms=sla_ms,
+            duration_s=duration_s,
+            phases=phase_breakdown(
+                all_latencies_ms, np.concatenate(phase_parts),
+                tuple(meta["phases"]), tuple(meta["phase_durations"]),
+                sla_ms, phase_hit_rates=meta.get("phase_hit_rates"),
+            ),
+        )
+    return build_fleet_report(
+        fleet_name=meta["fleet"],
+        policy=meta["policy"],
+        qps=meta["qps"],
+        latencies_ms=all_latencies_ms,
+        replica_reports=replica_reports,
+        cost_units=meta["cost_units"],
     )

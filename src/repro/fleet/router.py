@@ -23,13 +23,13 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.serving import ServingReport
 from repro.fleet.report import (
     FleetReport,
-    build_fleet_report,
-    phase_breakdown,
+    fold_fleet_report,
 )
 from repro.fleet.topology import FleetSpec, ReplicaSpec
+from repro.telemetry.events import ArrivalBlock, BatchBlock, FleetRun
+from repro.telemetry.sinks import Sink, emit_run
 
 #: A batch-latency curve: batch size -> milliseconds.
 LatencyModel = Callable[[int], float]
@@ -39,8 +39,9 @@ class _ReplicaState:
     """Mutable simulation state of one replica (queue + GPU timeline)."""
 
     __slots__ = (
-        "spec", "latency_ms", "queue", "gpu_free", "busy",
-        "latencies", "phases", "batch_sizes",
+        "spec", "latency_ms", "queue", "gpu_free",
+        "batch_starts", "batch_exec", "batch_sizes",
+        "member_times", "member_phases",
     )
 
     def __init__(self, spec: ReplicaSpec, latency_ms: LatencyModel) -> None:
@@ -48,10 +49,14 @@ class _ReplicaState:
         self.latency_ms = latency_ms
         self.queue: deque[tuple[float, int]] = deque()
         self.gpu_free = 0.0
-        self.busy = 0.0
-        self.latencies: list[float] = []
-        self.phases: list[int] = []
+        # per-batch columns in dispatch order, plus the batched queries'
+        # arrival times/phases flattened in queue-pop order — everything
+        # the report fold (and the telemetry BatchBlock) needs
+        self.batch_starts: list[float] = []
+        self.batch_exec: list[float] = []
         self.batch_sizes: list[int] = []
+        self.member_times: list[float] = []
+        self.member_phases: list[int] = []
 
     # -- event mechanics ------------------------------------------------
     def _next_dispatch_at(self) -> float:
@@ -71,12 +76,24 @@ class _ReplicaState:
             size = min(len(self.queue), self.spec.batching.max_batch)
             batch = [self.queue.popleft() for _ in range(size)]
             exec_s = self.latency_ms(size) / 1e3
-            done = at + exec_s
-            self.latencies.extend(done - a for a, _ in batch)
-            self.phases.extend(p for _, p in batch)
-            self.busy += exec_s
-            self.gpu_free = done
+            self.gpu_free = at + exec_s
+            self.batch_starts.append(float(at))
+            self.batch_exec.append(exec_s)
             self.batch_sizes.append(size)
+            self.member_times.extend(a for a, _ in batch)
+            self.member_phases.extend(p for _, p in batch)
+
+    def to_block(self, phases: tuple[str, ...] = ()) -> BatchBlock:
+        """This replica's served batches as a telemetry column block."""
+        return BatchBlock(
+            starts=np.asarray(self.batch_starts, dtype=float),
+            exec_s=np.asarray(self.batch_exec, dtype=float),
+            sizes=np.asarray(self.batch_sizes, dtype=np.int64),
+            replica=self.spec.name,
+            member_times=np.asarray(self.member_times, dtype=float),
+            member_phases=np.asarray(self.member_phases, dtype=np.int64),
+            phases=phases,
+        )
 
     def enqueue(self, arrival: float, phase: int = 0) -> None:
         self.queue.append((arrival, phase))
@@ -253,6 +270,43 @@ def _route_stream(
     return states, router, horizon
 
 
+def _simulate_fleet_run(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, LatencyModel],
+    *,
+    qps: float,
+    duration_s: float = 10.0,
+    policy: str | RoutingPolicy = "jsq",
+    seed: int = 0,
+) -> tuple[FleetReport, FleetRun]:
+    """Route the Poisson stream; package (report, run record)."""
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    rng = np.random.default_rng(seed)
+    n = max(1, int(qps * duration_s))
+    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
+    phase_ids = np.zeros(n, dtype=np.int64)
+    states, router, _horizon = _route_stream(
+        fleet, latency_models, arrivals, phase_ids,
+        policy=policy, seed=seed,
+    )
+    run = FleetRun(
+        meta={
+            "kind": "fleet",
+            "fleet": fleet.name,
+            "policy": router.name,
+            "qps": qps,
+            "seed": seed,
+            "cost_units": float(fleet.cost_units),
+        },
+        arrivals=ArrivalBlock(
+            times=arrivals, phase_ids=phase_ids, phases=("all",)
+        ),
+        replicas=[s.to_block(("all",)) for s in states],
+    )
+    return fold_fleet_report(run), run
+
+
 def simulate_fleet(
     fleet: FleetSpec,
     latency_models: Mapping[str, LatencyModel],
@@ -261,37 +315,72 @@ def simulate_fleet(
     duration_s: float = 10.0,
     policy: str | RoutingPolicy = "jsq",
     seed: int = 0,
+    sink: Sink | None = None,
 ) -> FleetReport:
     """Discrete-event simulation of a routed fleet serving Poisson load.
 
     ``latency_models`` maps replica names — or, as a convenient fallback,
     GPU names — to batch-latency curves (ms as a function of batch size).
     Query latency = routing (instant) + batching wait + queueing + batch
-    execution on the assigned replica.
+    execution on the assigned replica.  The run's telemetry (arrival
+    block + one batch block per replica) goes to ``sink``, falling back
+    to the ambient default.
     """
-    if qps <= 0:
-        raise ValueError("qps must be positive")
-    rng = np.random.default_rng(seed)
-    n = max(1, int(qps * duration_s))
-    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=n))
-    states, router, horizon = _route_stream(
-        fleet, latency_models, arrivals, np.zeros(n, dtype=np.int64),
+    report, run = _simulate_fleet_run(
+        fleet, latency_models, qps=qps, duration_s=duration_s,
         policy=policy, seed=seed,
     )
-    replica_reports = tuple(
-        _replica_report(state, horizon) for state in states
+    emit_run(sink, run)
+    return report
+
+
+def _simulate_fleet_stream_run(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, LatencyModel],
+    stream,
+    *,
+    policy: str | RoutingPolicy = "jsq",
+    sla_ms: float | None = None,
+    seed: int = 0,
+    phase_hit_rates: Sequence[float] | None = None,
+    tenant: str | None = None,
+) -> tuple[FleetReport, FleetRun]:
+    """Route one scenario stream; package (report, run record)."""
+    times = np.asarray(stream.times, dtype=float)
+    if len(times) == 0:
+        raise ValueError(f"arrival stream {stream.name!r} is empty")
+    phase_ids = np.asarray(stream.phase_ids)
+    states, router, _horizon = _route_stream(
+        fleet, latency_models, times, phase_ids, policy=policy, seed=seed,
     )
-    all_latencies_ms = 1e3 * np.concatenate(
-        [np.asarray(s.latencies) for s in states]
+    phases = tuple(stream.phases)
+    meta = {
+        "kind": "fleet_stream",
+        "fleet": fleet.name,
+        "scenario": stream.name,
+        "policy": router.name,
+        "sla_ms": sla_ms,
+        "duration_s": stream.duration_s,
+        "cost_units": float(fleet.cost_units),
+        "phases": list(phases),
+        "phase_durations": [float(d) for d in stream.phase_durations],
+        "phase_hit_rates": (
+            None if phase_hit_rates is None
+            else [float(r) for r in phase_hit_rates]
+        ),
+    }
+    if tenant is not None:
+        meta["tenant"] = tenant
+    run = FleetRun(
+        meta=meta,
+        arrivals=ArrivalBlock(
+            times=times,
+            phase_ids=np.asarray(phase_ids, dtype=np.int64),
+            phases=phases,
+        ),
+        replicas=[s.to_block(phases) for s in states],
     )
-    return build_fleet_report(
-        fleet_name=fleet.name,
-        policy=router.name,
-        qps=qps,
-        latencies_ms=all_latencies_ms,
-        replica_reports=replica_reports,
-        cost_units=fleet.cost_units,
-    )
+    return fold_fleet_report(run), run
 
 
 def simulate_fleet_stream(
@@ -303,6 +392,7 @@ def simulate_fleet_stream(
     sla_ms: float | None = None,
     seed: int = 0,
     phase_hit_rates: Sequence[float] | None = None,
+    sink: Sink | None = None,
 ) -> FleetReport:
     """A routed fleet serving one scenario stream, with per-phase tails.
 
@@ -313,39 +403,15 @@ def simulate_fleet_stream(
     window instead of on the run average.  ``seed`` only drives the
     router's sampling policies (the stream is already materialized).
     ``phase_hit_rates`` (one memstore HBM hit rate per phase) is
-    threaded into the per-phase breakdown.
+    threaded into the per-phase breakdown.  The run's telemetry goes to
+    ``sink`` (or the ambient default).
     """
-    times = np.asarray(stream.times, dtype=float)
-    if len(times) == 0:
-        raise ValueError(f"arrival stream {stream.name!r} is empty")
-    phase_ids = np.asarray(stream.phase_ids)
-    states, router, horizon = _route_stream(
-        fleet, latency_models, times, phase_ids, policy=policy, seed=seed,
+    report, run = _simulate_fleet_stream_run(
+        fleet, latency_models, stream, policy=policy, sla_ms=sla_ms,
+        seed=seed, phase_hit_rates=phase_hit_rates,
     )
-    replica_reports = tuple(
-        _replica_report(state, horizon) for state in states
-    )
-    all_latencies_ms = 1e3 * np.concatenate(
-        [np.asarray(s.latencies) for s in states]
-    )
-    all_phases = np.concatenate([
-        np.asarray(s.phases, dtype=np.int64) for s in states
-    ])
-    return build_fleet_report(
-        fleet_name=fleet.name,
-        policy=router.name,
-        qps=len(times) / stream.duration_s if stream.duration_s else 0.0,
-        latencies_ms=all_latencies_ms,
-        replica_reports=replica_reports,
-        cost_units=fleet.cost_units,
-        sla_ms=sla_ms,
-        duration_s=stream.duration_s,
-        phases=phase_breakdown(
-            all_latencies_ms, all_phases, tuple(stream.phases),
-            tuple(stream.phase_durations), sla_ms,
-            phase_hit_rates=phase_hit_rates,
-        ),
-    )
+    emit_run(sink, run)
+    return report
 
 
 def subfleet(fleet: FleetSpec, replicas: Sequence[str]) -> FleetSpec:
@@ -368,6 +434,39 @@ def subfleet(fleet: FleetSpec, replicas: Sequence[str]) -> FleetSpec:
     )
 
 
+def _simulate_fleet_tenant_stream_runs(
+    fleet: FleetSpec,
+    latency_models: Mapping[str, Mapping[str, LatencyModel]],
+    streams: Mapping[str, object],
+    *,
+    assignments: Mapping[str, Sequence[str]] | None = None,
+    policy: str | RoutingPolicy = "jsq",
+    sla_ms: Mapping[str, float | None] | float | None = None,
+    seed: int = 0,
+) -> tuple[dict[str, FleetReport], dict[str, FleetRun]]:
+    """Per-tenant routed serves returning (reports, runs) by tenant."""
+    missing = sorted(set(streams) - set(latency_models))
+    if missing:
+        raise KeyError(f"no latency models for tenants {missing}")
+    reports: dict[str, FleetReport] = {}
+    runs: dict[str, FleetRun] = {}
+    for name in streams:
+        replicas = (
+            assignments.get(name) if assignments is not None else None
+        )
+        sub = (
+            fleet if replicas is None else subfleet(fleet, replicas)
+        )
+        sla = (
+            sla_ms.get(name) if isinstance(sla_ms, Mapping) else sla_ms
+        )
+        reports[name], runs[name] = _simulate_fleet_stream_run(
+            sub, latency_models[name], streams[name],
+            policy=policy, sla_ms=sla, seed=seed, tenant=name,
+        )
+    return reports, runs
+
+
 def simulate_fleet_tenant_streams(
     fleet: FleetSpec,
     latency_models: Mapping[str, Mapping[str, LatencyModel]],
@@ -377,6 +476,7 @@ def simulate_fleet_tenant_streams(
     policy: str | RoutingPolicy = "jsq",
     sla_ms: Mapping[str, float | None] | float | None = None,
     seed: int = 0,
+    sink: Sink | None = None,
 ) -> dict[str, FleetReport]:
     """Route several tenants' streams over the fleet, one report each.
 
@@ -389,48 +489,14 @@ def simulate_fleet_tenant_streams(
     tenant's curves; ``assignments[tenant]`` names the replicas it may
     use (omitted: all of them).  A single tenant assigned the whole
     fleet is served by :func:`simulate_fleet_stream` verbatim —
-    field-identical to calling it directly.
+    field-identical to calling it directly.  Each tenant's run record
+    is emitted to ``sink`` (or the ambient default) with
+    ``meta["tenant"]`` set.
     """
-    missing = sorted(set(streams) - set(latency_models))
-    if missing:
-        raise KeyError(f"no latency models for tenants {missing}")
-    reports = {}
-    for name in streams:
-        replicas = (
-            assignments.get(name) if assignments is not None else None
-        )
-        sub = (
-            fleet if replicas is None else subfleet(fleet, replicas)
-        )
-        sla = (
-            sla_ms.get(name) if isinstance(sla_ms, Mapping) else sla_ms
-        )
-        reports[name] = simulate_fleet_stream(
-            sub, latency_models[name], streams[name],
-            policy=policy, sla_ms=sla, seed=seed,
-        )
+    reports, runs = _simulate_fleet_tenant_stream_runs(
+        fleet, latency_models, streams, assignments=assignments,
+        policy=policy, sla_ms=sla_ms, seed=seed,
+    )
+    for run in runs.values():
+        emit_run(sink, run)
     return reports
-
-
-def _replica_report(state: _ReplicaState, horizon: float) -> ServingReport:
-    # ServingReport.scheme_name carries the *replica* name here: fleet
-    # consumers (routed_fractions, per-replica tables) identify rows by
-    # replica, and the kernel scheme lives on ReplicaSpec.scheme.
-    lat_ms = 1e3 * np.asarray(state.latencies)
-    served = len(lat_ms)
-    pct = (
-        (lambda q: float(np.percentile(lat_ms, q))) if served
-        else (lambda q: 0.0)
-    )
-    return ServingReport(
-        scheme_name=state.spec.name,
-        qps=served / horizon if horizon > 0 else 0.0,
-        n_queries=served,
-        p50_ms=pct(50),
-        p95_ms=pct(95),
-        p99_ms=pct(99),
-        mean_batch_size=(
-            float(np.mean(state.batch_sizes)) if state.batch_sizes else 0.0
-        ),
-        gpu_utilization=state.busy / horizon if horizon > 0 else 0.0,
-    )

@@ -2,23 +2,35 @@
 
 Usage::
 
+    repro-harness --version
     repro-harness list
     repro-harness run fig12 [--sms 6] [--seed 0] [--memo-dir PATH]
     repro-harness run scenario --profile diurnal|flash|mmpp|drift|poisson
-    repro-harness run all
+    repro-harness run all [--out results.json] [--record run.jsonl]
+    repro-harness replay run.jsonl [--report phases|tenants|timeline]
+
+``run --record`` attaches a telemetry recorder (ambient sink) for the
+duration of the run and writes schema-versioned JSONL; ``replay``
+folds such a file back into the exact reports the live run produced —
+no simulator involved.  Malformed recordings exit 2 with a one-line
+explanation, not a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import __version__
 from repro.gpusim.memo import KernelMemo, set_default_memo
 from repro.harness.context import ExperimentContext, HarnessConfig
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.runner import list_experiments, run_experiment
 from repro.traffic.scenario import SCENARIO_PROFILES
+
+REPLAY_REPORTS = ("summary", "phases", "tenants", "timeline")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Envelope of DNN-based Recommendation Systems Inference on "
             "GPUs' (MICRO 2024) on the bundled GPU simulator."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
@@ -54,15 +70,56 @@ def build_parser() -> argparse.ArgumentParser:
             "re-simulating (delete the directory to invalidate)"
         ),
     )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=(
+            "also write the experiment tables as machine-readable JSON "
+            "(one document: version, config, experiments)"
+        ),
+    )
+    run.add_argument(
+        "--record", default=None, metavar="PATH",
+        help=(
+            "record serving telemetry to schema-versioned JSONL; "
+            "feed the file to 'repro-harness replay'"
+        ),
+    )
+    replay = sub.add_parser(
+        "replay", help="fold a recorded telemetry file back into reports"
+    )
+    replay.add_argument("recording", help="JSONL file from --record")
+    replay.add_argument(
+        "--report", default="summary", choices=REPLAY_REPORTS,
+        help=(
+            "view: run summaries (default), per-phase breakdowns, "
+            "per-tenant interference attribution, or queue/in-flight "
+            "timeline digests"
+        ),
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly.
+        # Reopen stdout on devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for exp_id, desc in list_experiments():
             print(f"{exp_id:8s} {desc}")
         return 0
+    if args.command == "replay":
+        return _cmd_replay(args)
 
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)
@@ -92,16 +149,154 @@ def main(argv: list[str] | None = None) -> int:
         HarnessConfig(num_sms=args.sms, seed=args.seed), memo=memo
     )
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for exp_id in ids:
-        start = time.perf_counter()
-        # --profile was validated above: it can only reach 'scenario'
-        profile = args.profile if exp_id == "scenario" else None
-        table = run_experiment(exp_id, ctx, profile=profile)
-        elapsed = time.perf_counter() - start
-        print(table.render())
-        print(f"({exp_id} regenerated in {elapsed:.1f}s)")
-        print()
+    tables = []
+    recorder = None
+    if args.record is not None:
+        from repro.telemetry.sinks import RecorderSink, set_default_sink
+
+        recorder = RecorderSink(args.record)
+        set_default_sink(recorder)
+    try:
+        for exp_id in ids:
+            start = time.perf_counter()
+            # --profile was validated above: it can only reach 'scenario'
+            profile = args.profile if exp_id == "scenario" else None
+            table = run_experiment(exp_id, ctx, profile=profile)
+            elapsed = time.perf_counter() - start
+            tables.append(table)
+            print(table.render())
+            print(f"({exp_id} regenerated in {elapsed:.1f}s)")
+            print()
+    finally:
+        if recorder is not None:
+            from repro.telemetry.sinks import set_default_sink
+
+            set_default_sink(None)
+            recorder.close()
+            print(
+                f"(telemetry: {recorder.records} records -> {args.record})"
+            )
+    if args.out is not None:
+        document = {
+            "tool": "repro-harness",
+            "version": __version__,
+            "config": {"sms": args.sms, "seed": args.seed},
+            "experiments": [table.to_dict() for table in tables],
+        }
+        with open(args.out, "w", encoding="utf-8") as file:
+            json.dump(document, file, indent=2)
+            file.write("\n")
+        print(f"(results -> {args.out})")
     print(f"({ctx.memo.stats_line()})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.telemetry.replay import ReplayError, load_runs, replay_report
+
+    try:
+        runs = load_runs(args.recording)
+        reports = [replay_report(run) for run in runs]
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not runs:
+        print(f"{args.recording}: no runs recorded")
+        return 0
+    if args.report == "timeline":
+        _render_timeline(runs)
+        return 0
+    if args.report == "tenants":
+        return _render_tenants(runs)
+    for report in reports:
+        _render_report(report, phases=args.report == "phases")
+    return 0
+
+
+def _render_report(report, *, phases: bool, indent: str = "") -> None:
+    name = type(report).__name__
+    if hasattr(report, "tenant_reports"):  # Zoo / ZooFleet
+        print(
+            f"{indent}{name} {report.zoo}: "
+            f"{len(report.tenant_reports)} tenants, "
+            f"aggregate goodput {report.aggregate_goodput_qps:.0f} qps, "
+            f"SLA attainment {report.sla_attainment_pct:.1f}%"
+        )
+        for tenant, sub in report.tenant_reports.items():
+            print(f"{indent}  [{tenant}]")
+            _render_report(sub, phases=phases, indent=indent + "  ")
+        return
+    if hasattr(report, "scenario"):  # StreamReport
+        print(
+            f"{indent}{name} {report.scenario} via {report.scheme_name} "
+            f"({report.batcher}): {report.n_queries} queries, "
+            f"p99 {report.p99_ms:.2f} ms, "
+            f"goodput {report.goodput_qps:.0f} qps, "
+            f"SLA {report.sla_hit_pct:.1f}%"
+        )
+    elif hasattr(report, "fleet_name"):  # FleetReport
+        print(
+            f"{indent}{name} {report.fleet_name} [{report.policy}]: "
+            f"{report.n_queries} queries on {report.n_replicas} replicas, "
+            f"p99 {report.p99_ms:.2f} ms, SLA {report.sla_hit_pct:.1f}%"
+        )
+    else:  # ServingReport
+        print(
+            f"{indent}{name} {report.scheme_name} @ {report.qps:g} qps: "
+            f"{report.n_queries} queries, p99 {report.p99_ms:.2f} ms, "
+            f"util {report.gpu_utilization:.2f}"
+        )
+    if phases and getattr(report, "phases", ()):
+        for ph in report.phases:
+            hit = (
+                f", hit rate {ph.hit_rate:.3f}"
+                if ph.hit_rate is not None else ""
+            )
+            print(
+                f"{indent}  phase {ph.phase}: {ph.n_queries} queries, "
+                f"p50/p95/p99 {ph.p50_ms:.2f}/{ph.p95_ms:.2f}/"
+                f"{ph.p99_ms:.2f} ms, goodput {ph.goodput_qps:.0f} qps, "
+                f"SLA {ph.sla_hit_pct:.1f}%{hit}"
+            )
+
+
+def _render_timeline(runs) -> None:
+    from repro.telemetry.derive import timeline_summary
+
+    rows = timeline_summary(runs)
+    for row in rows:
+        tenant = f" tenant={row['tenant']}" if row["tenant"] else ""
+        print(
+            f"{row['kind']}:{row['name']}{tenant} — "
+            f"{row['n_queries']} queries / {row['n_batches']} batches, "
+            f"peak queue {row['max_queue_depth']}, "
+            f"peak in-flight {row['max_in_flight']}"
+        )
+
+
+def _render_tenants(runs) -> int:
+    from repro.telemetry.derive import interference_attribution
+    from repro.telemetry.events import GroupRun
+
+    groups = [run for run in runs if isinstance(run, GroupRun)]
+    if not groups:
+        print("no multi-tenant (zoo) runs in this recording")
+        return 0
+    for group in groups:
+        print(f"zoo {group.meta.get('zoo', '?')}:")
+        for tenant, attr in interference_attribution(group).items():
+            extra = (
+                f", own load {attr['load']:.2f}, "
+                f"co-runner load {attr['co_runner_load']:.2f}"
+                if "load" in attr else ""
+            )
+            print(
+                f"  {tenant}: x{attr['factor']:.3f} contention "
+                f"(+{attr['latency_penalty_pct']:.1f}% latency){extra}"
+            )
     return 0
 
 

@@ -69,15 +69,19 @@ class ExperimentTable:
             writer.writerow({c: row.get(c, "") for c in self.columns})
         return buffer.getvalue()
 
-    def to_json(self) -> str:
-        """JSON export with experiment metadata."""
-        return json.dumps({
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict export (what ``to_json`` serializes)."""
+        return {
             "exp_id": self.exp_id,
             "title": self.title,
             "columns": self.columns,
             "rows": self.rows,
             "notes": self.notes,
-        }, indent=2)
+        }
+
+    def to_json(self) -> str:
+        """JSON export with experiment metadata."""
+        return json.dumps(self.to_dict(), indent=2)
 
 
 def _fmt(value: Any) -> str:

@@ -151,6 +151,9 @@ class CachePolicy:
         self._tick = 0
         self._counts: dict[int, int] = {}
         self._ticks: dict[int, int] = {}
+        #: rows displaced from residency since the last reset — the
+        #: telemetry ``cache_evict`` source (not part of TierStats).
+        self.evictions = 0
 
     # -- subclass hook --------------------------------------------------
     def _priority(self, row: int) -> tuple:
@@ -213,6 +216,7 @@ class CachePolicy:
             if entry is not None and entry[0] < prio:
                 heapq.heappop(self._heap)
                 del self._resident[entry[1]]
+                self.evictions += 1
                 self._resident[row] = prio
                 heapq.heappush(self._heap, (prio, row))
         return len(self._resident)
@@ -235,6 +239,7 @@ class CachePolicy:
         if entry is not None and entry[0] < new_prio:
             heapq.heappop(self._heap)
             del self._resident[entry[1]]
+            self.evictions += 1
             self._resident[row] = new_prio
             heapq.heappush(self._heap, (new_prio, row))
         return False

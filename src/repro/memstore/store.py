@@ -36,6 +36,14 @@ from repro.memstore.policy import (
     make_policy,
     profile_hot_rows,
 )
+from repro.telemetry.events import (
+    CacheEvict,
+    CacheHit,
+    CacheMiss,
+    HostFetch,
+    Warm,
+)
+from repro.telemetry.sinks import Sink, resolve_sink
 
 #: Host-link launch latency (DMA setup + round trip) per bulk transfer.
 PCIE_LATENCY_US = 10.0
@@ -207,6 +215,11 @@ class EmbeddingStore:
     bandwidth).  Adaptive policies (LRU/LFU) mutate across lookups —
     that is the point; call :meth:`reset`/:meth:`warm` to model a cache
     refresh.
+
+    Telemetry: each ``lookup`` emits ``cache_hit``/``cache_miss`` (and
+    ``cache_evict``/``host_fetch`` when rows were displaced/fetched),
+    each ``warm`` a ``warm`` event, to ``sink`` — or the ambient
+    default when ``sink`` is ``None`` — tagged with ``label``.
     """
 
     def __init__(
@@ -216,6 +229,8 @@ class EmbeddingStore:
         *,
         policy: CachePolicy | None = None,
         hot_rows: np.ndarray | None = None,
+        sink: Sink | None = None,
+        label: str = "store",
     ) -> None:
         if policy is None:
             policy = make_policy(plan.policy, plan.resident_rows)
@@ -227,12 +242,18 @@ class EmbeddingStore:
         self.plan = plan
         self.link = link
         self.policy = policy
+        self.sink = sink
+        self.label = label
         if hot_rows is not None:
             self.policy.warm(hot_rows)
 
     def warm(self, rows: np.ndarray) -> int:
         """(Re-)admit a popularity profile; returns rows now resident."""
-        return self.policy.warm(rows)
+        resident = self.policy.warm(rows)
+        sink = resolve_sink(self.sink)
+        if sink.enabled:
+            sink.emit(Warm(resident=resident, label=self.label))
+        return resident
 
     def reset(self) -> None:
         self.policy.reset()
@@ -249,18 +270,32 @@ class EmbeddingStore:
         )
         if len(indices) and int(indices.max()) >= self.plan.table_rows:
             raise ValueError("trace indices exceed the plan's table_rows")
+        evicted_before = self.policy.evictions
         if self.plan.fully_resident:
             hits, fetches = len(indices), 0
         else:
             hits, fetches = self.policy.lookup(indices)
         host_bytes = fetches * self.plan.row_bytes
-        return TierStats(
+        stats = TierStats(
             n_accesses=len(indices),
             hits=hits,
             host_rows_fetched=fetches,
             host_bytes=host_bytes,
             host_fetch_us=self.link.transfer_us(host_bytes),
         )
+        sink = resolve_sink(self.sink)
+        if sink.enabled:
+            sink.emit(CacheHit(count=hits, label=self.label))
+            sink.emit(CacheMiss(count=stats.misses, label=self.label))
+            evicted = self.policy.evictions - evicted_before
+            if evicted:
+                sink.emit(CacheEvict(count=evicted, label=self.label))
+            if fetches:
+                sink.emit(HostFetch(
+                    rows=fetches, bytes=host_bytes,
+                    us=stats.host_fetch_us, label=self.label,
+                ))
+        return stats
 
 
 def store_for_spec(

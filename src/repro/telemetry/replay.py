@@ -1,0 +1,255 @@
+"""Deterministic replay: recorded JSONL telemetry back into reports.
+
+A file written by :class:`~repro.telemetry.sinks.RecorderSink` holds
+everything the report folds need — so a recorded run replays into the
+*same* :class:`~repro.core.serving.StreamReport` /
+:class:`~repro.fleet.report.FleetReport` / tenancy reports the live
+simulation produced, field for field, without invoking any simulator.
+
+This module sits *above* the serving stack (it imports the folds from
+``core``/``fleet``/``tenancy``), which is why it is not re-exported
+from ``repro.telemetry`` itself — import it explicitly::
+
+    from repro.telemetry.replay import load_runs, replay_report
+
+Malformed input (wrong header, schema mismatch, truncation, bad JSON)
+raises :class:`ReplayError` with a human-readable message; the harness
+CLI maps it to a friendly ``exit 2``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, TextIO
+
+from repro.telemetry.events import (
+    SCHEMA_VERSION,
+    ArrivalBlock,
+    BatchBlock,
+    FleetRun,
+    GroupRun,
+    RunRecord,
+    StreamRun,
+    block_from_record,
+    event_from_record,
+)
+
+
+class ReplayError(Exception):
+    """A recorded telemetry file cannot be replayed (and why)."""
+
+
+def iter_records(path_or_file: str | TextIO) -> Iterator[dict[str, Any]]:
+    """Validated record stream of one recorded JSONL file.
+
+    Checks the header (format tag + schema version) before yielding
+    anything, yields every event/block record, and verifies the footer
+    count at the end — a truncated or concatenated file fails loudly
+    instead of replaying half a run.
+    """
+    if hasattr(path_or_file, "read"):
+        yield from _iter_lines(path_or_file, "<stream>")
+    else:
+        try:
+            with open(path_or_file, "r", encoding="utf-8") as file:
+                yield from _iter_lines(file, str(path_or_file))
+        except OSError as exc:
+            raise ReplayError(f"cannot read {path_or_file}: {exc}") from exc
+
+
+def _iter_lines(file: TextIO, name: str) -> Iterator[dict[str, Any]]:
+    lines = iter(enumerate(file, start=1))
+    try:
+        _, first = next(lines)
+    except StopIteration:
+        raise ReplayError(f"{name}: empty file (no telemetry header)") \
+            from None
+    header = _parse(first, name, 1)
+    if header.get("k") != "telemetry":
+        raise ReplayError(
+            f"{name}: not a telemetry recording (header is "
+            f"{header.get('k')!r}, expected 'telemetry')"
+        )
+    schema = header.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ReplayError(
+            f"{name}: schema version {schema!r} is not supported "
+            f"(this build reads schema {SCHEMA_VERSION}); re-record "
+            f"with a matching version"
+        )
+    count = 0
+    for lineno, line in lines:
+        if not line.strip():
+            continue
+        record = _parse(line, name, lineno)
+        if record.get("k") == "end":
+            expected = record.get("records")
+            if expected != count:
+                raise ReplayError(
+                    f"{name}: footer says {expected} records but "
+                    f"{count} were read — file is corrupt"
+                )
+            return
+        count += 1
+        yield record
+    raise ReplayError(
+        f"{name}: missing end-of-recording footer after {count} "
+        f"records — file is truncated"
+    )
+
+
+def _parse(line: str, name: str, lineno: int) -> dict[str, Any]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReplayError(
+            f"{name}:{lineno}: not valid JSON ({exc.msg}) — file is "
+            f"truncated or corrupt"
+        ) from None
+    if not isinstance(record, dict):
+        raise ReplayError(f"{name}:{lineno}: expected a JSON object")
+    return record
+
+
+class _Frame:
+    """One open run while reassembling the record stream."""
+
+    __slots__ = ("meta", "arrivals", "batches", "children")
+
+    def __init__(self, meta: dict[str, Any]) -> None:
+        self.meta = meta
+        self.arrivals: ArrivalBlock | None = None
+        self.batches: list[BatchBlock] = []
+        self.children: dict[str, RunRecord] = {}
+
+
+def _close_frame(frame: _Frame, source: str) -> RunRecord:
+    kind = frame.meta.get("kind")
+    if kind in ("zoo", "zoo_fleet"):
+        return GroupRun(meta=frame.meta, children=frame.children)
+    if frame.arrivals is None:
+        raise ReplayError(
+            f"{source}: run {kind!r} ended without an arrival block"
+        )
+    if kind in ("fleet", "fleet_stream"):
+        return FleetRun(
+            meta=frame.meta,
+            arrivals=frame.arrivals,
+            replicas=frame.batches,
+        )
+    if kind in ("stream", "serving"):
+        if len(frame.batches) != 1:
+            raise ReplayError(
+                f"{source}: run {kind!r} carries "
+                f"{len(frame.batches)} batch blocks, expected 1"
+            )
+        return StreamRun(
+            meta=frame.meta,
+            arrivals=frame.arrivals,
+            batches=frame.batches[0],
+        )
+    raise ReplayError(f"{source}: unknown run kind {kind!r}")
+
+
+def load_runs(path_or_file: str | TextIO) -> list[RunRecord]:
+    """Reassemble every run record of one recorded file, in order.
+
+    ``run_start``/``run_end`` events bracket runs (nesting once for
+    zoo groups); blocks attach to the innermost open run.  Scalar
+    events outside the run structure (cache counters, re-arbitrations)
+    are skipped here — :func:`iter_records` exposes them raw.
+    """
+    source = (
+        "<stream>" if hasattr(path_or_file, "read") else str(path_or_file)
+    )
+    runs: list[RunRecord] = []
+    stack: list[_Frame] = []
+    for record in iter_records(path_or_file):
+        k = record.get("k")
+        if k == "b":
+            try:
+                block = block_from_record(record)
+            except (KeyError, ValueError) as exc:
+                raise ReplayError(f"{source}: bad block record: {exc}") \
+                    from None
+            if not stack:
+                raise ReplayError(
+                    f"{source}: block outside any run"
+                )
+            frame = stack[-1]
+            if isinstance(block, ArrivalBlock):
+                frame.arrivals = block
+            else:
+                frame.batches.append(block)
+            continue
+        if k != "e":
+            raise ReplayError(
+                f"{source}: unknown record kind {k!r}"
+            )
+        try:
+            event = event_from_record(record)
+        except (KeyError, ValueError) as exc:
+            raise ReplayError(f"{source}: bad event record: {exc}") \
+                from None
+        if event.kind == "run_start":
+            stack.append(_Frame(dict(event.meta)))
+        elif event.kind == "run_end":
+            if not stack:
+                raise ReplayError(f"{source}: run_end without run_start")
+            run = _close_frame(stack.pop(), source)
+            if stack:
+                parent = stack[-1]
+                key = run.meta.get("tenant") or run.meta.get(
+                    "scenario", f"child{len(parent.children)}"
+                )
+                parent.children[key] = run
+            else:
+                runs.append(run)
+        # other scalar events (cache counters, re-arbitrate, ...) are
+        # not part of the run structure
+    if stack:
+        raise ReplayError(
+            f"{source}: {len(stack)} run(s) never closed — file is "
+            f"truncated"
+        )
+    return runs
+
+
+def replay_report(run: RunRecord):
+    """Fold one reassembled run into its report — the same pure folds
+    the live simulators used, so the result is field-identical."""
+    from repro.core.serving import fold_serving_report, fold_stream_report
+    from repro.fleet.report import fold_fleet_report
+    from repro.tenancy.share import fold_zoo_fleet_report, fold_zoo_report
+
+    kind = run.meta.get("kind")
+    folds = {
+        "stream": fold_stream_report,
+        "serving": fold_serving_report,
+        "fleet": fold_fleet_report,
+        "fleet_stream": fold_fleet_report,
+        "zoo": fold_zoo_report,
+        "zoo_fleet": fold_zoo_fleet_report,
+    }
+    try:
+        fold = folds[kind]
+    except KeyError:
+        known = ", ".join(folds)
+        raise ReplayError(
+            f"cannot replay run kind {kind!r}; known: {known}"
+        ) from None
+    return fold(run)
+
+
+def replay_reports(path_or_file: str | TextIO) -> list:
+    """Load a recorded file and fold every run into its report."""
+    return [replay_report(run) for run in load_runs(path_or_file)]
+
+
+__all__ = [
+    "ReplayError",
+    "iter_records",
+    "load_runs",
+    "replay_report",
+    "replay_reports",
+]

@@ -44,6 +44,8 @@ from repro.memstore.policy import (
     popular_rows,
 )
 from repro.memstore.store import EmbeddingStore, HostLink, TierPlan
+from repro.telemetry.events import ReArbitrate
+from repro.telemetry.sinks import emit_event
 from repro.tenancy.zoo import TenantSpec, ZooSpec
 
 
@@ -369,6 +371,16 @@ def rearbitrate_on_drift(
         )
         for name, g in grant.grants.items()
     }
+    emit_event(None, ReArbitrate(
+        phase=drift_phase,
+        grants={
+            name: {
+                "granted_rows": float(g.granted_rows),
+                "hit_rate": float(g.hit_rate),
+            }
+            for name, g in grants.items()
+        },
+    ))
     return ZooGrant(
         budget_bytes=grant.budget_bytes,
         grants=grants,

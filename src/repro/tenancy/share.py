@@ -40,16 +40,19 @@ from repro.core.serving import (
     ContinuousBatching,
     LatencyModel,
     StreamReport,
-    serve_tenant_streams,
+    _serve_tenant_stream_runs,
+    fold_stream_report,
 )
 from repro.datasets.spec import HOTNESS_PRESETS
 from repro.dlrm.timing import KERNEL_LAUNCH_US
 from repro.fleet.capacity import linear_latency_model
-from repro.fleet.report import FleetReport
-from repro.fleet.router import simulate_fleet_tenant_streams
+from repro.fleet.report import FleetReport, fold_fleet_report
+from repro.fleet.router import _simulate_fleet_tenant_stream_runs
 from repro.fleet.topology import FleetSpec
 from repro.gpusim.memo import KernelMemo
 from repro.memstore.store import HostLink
+from repro.telemetry.events import GroupRun
+from repro.telemetry.sinks import Sink, emit_run
 from repro.tenancy.zoo import TenantSpec, ZooSpec
 from repro.traffic.scenario import ScenarioTrace
 
@@ -319,6 +322,32 @@ def _aggregate(reports: Mapping[str, object]) -> tuple[float, float]:
     return goodput, attainment
 
 
+def fold_zoo_report(run: GroupRun) -> ZooReport:
+    """Pure fold: a recorded zoo group run into its :class:`ZooReport`.
+
+    The children are the *final* serving pass (contended, or solo when
+    every factor is 1.0); the interference calibration travels in the
+    group's meta, so replay needs neither pass re-run.
+    """
+    meta = run.meta
+    reports = {
+        name: fold_stream_report(child)
+        for name, child in run.children.items()
+    }
+    goodput, attainment = _aggregate(reports)
+    return ZooReport(
+        zoo=meta["zoo"],
+        tenant_reports=reports,
+        contention=dict(meta["contention"]),
+        loads=dict(meta["loads"]),
+        aggregate_goodput_qps=goodput,
+        aggregate_offered_qps=sum(
+            r.offered_qps for r in reports.values()
+        ),
+        sla_attainment_pct=attainment,
+    )
+
+
 def simulate_zoo_serving(
     zoo: ZooSpec,
     latency_models: Mapping[str, object],
@@ -330,6 +359,7 @@ def simulate_zoo_serving(
     ] | None = None,
     phase_hit_rates: Mapping[str, Sequence[float]] | None = None,
     seed: int = 0,
+    sink: Sink | None = None,
 ) -> ZooReport:
     """All tenants of a zoo sharing ONE GPU under MPS-style concurrency.
 
@@ -345,6 +375,11 @@ def simulate_zoo_serving(
     A one-tenant zoo has no co-runners, its factor is exactly 1.0, and
     the contended pass reuses the solo curve object — field-identical
     to calling :func:`repro.core.serving.serve_stream` directly.
+
+    Telemetry: one :class:`~repro.telemetry.events.GroupRun` (meta
+    ``kind="zoo"`` carrying loads and contention factors, children =
+    the final pass's per-tenant runs) goes to ``sink`` or the ambient
+    default.
     """
     missing = sorted(set(zoo.tenant_names) - set(latency_models))
     if missing:
@@ -356,11 +391,12 @@ def simulate_zoo_serving(
             name: ShareDemand(1.0, 1.0) for name in zoo.tenant_names
         }
     slas = {t.name: t.sla_ms for t in zoo.tenants}
+    scheme_names = {t.name: t.scheme.name for t in zoo.tenants}
 
-    solo = serve_tenant_streams(
+    solo, solo_runs = _serve_tenant_stream_runs(
         latency_models, streams,
         policies=policies, sla_ms=slas,
-        scheme_names={t.name: t.scheme.name for t in zoo.tenants},
+        scheme_names=scheme_names,
         phase_hit_rates=phase_hit_rates,
     )
     loads = {
@@ -371,30 +407,30 @@ def simulate_zoo_serving(
         {name: demands[name] for name in zoo.tenant_names}, loads
     )
     if all(f == 1.0 for f in factors.values()):
-        reports = solo
+        runs = solo_runs
     else:
         contended = {
             name: _scaled_models(latency_models[name], factors[name])
             for name in zoo.tenant_names
         }
-        reports = serve_tenant_streams(
+        _, runs = _serve_tenant_stream_runs(
             contended, streams,
             policies=policies, sla_ms=slas,
-            scheme_names={t.name: t.scheme.name for t in zoo.tenants},
+            scheme_names=scheme_names,
             phase_hit_rates=phase_hit_rates,
         )
-    goodput, attainment = _aggregate(reports)
-    return ZooReport(
-        zoo=zoo.name,
-        tenant_reports=dict(reports),
-        contention=factors,
-        loads=loads,
-        aggregate_goodput_qps=goodput,
-        aggregate_offered_qps=sum(
-            r.offered_qps for r in reports.values()
-        ),
-        sla_attainment_pct=attainment,
+    group = GroupRun(
+        meta={
+            "kind": "zoo",
+            "zoo": zoo.name,
+            "contention": dict(factors),
+            "loads": dict(loads),
+        },
+        children=dict(runs),
     )
+    report = fold_zoo_report(group)
+    emit_run(sink, group)
+    return report
 
 
 @dataclass(frozen=True)
@@ -416,6 +452,27 @@ class ZooFleetReport:
             raise KeyError(f"no tenant {name!r}; known: {known}") from None
 
 
+def fold_zoo_fleet_report(run: GroupRun) -> ZooFleetReport:
+    """Pure fold: a recorded zoo-fleet group run into its report."""
+    meta = run.meta
+    reports = {
+        name: fold_fleet_report(child)
+        for name, child in run.children.items()
+    }
+    goodput, attainment = _aggregate(reports)
+    return ZooFleetReport(
+        zoo=meta["zoo"],
+        fleet=meta["fleet"],
+        tenant_reports=reports,
+        contention={
+            replica: dict(per)
+            for replica, per in meta["contention"].items()
+        },
+        aggregate_goodput_qps=goodput,
+        sla_attainment_pct=attainment,
+    )
+
+
 def simulate_zoo_fleet(
     zoo: ZooSpec,
     fleet: FleetSpec,
@@ -426,6 +483,7 @@ def simulate_zoo_fleet(
     streams: Mapping[str, ScenarioTrace] | None = None,
     policy: str = "jsq",
     seed: int = 0,
+    sink: Sink | None = None,
 ) -> ZooFleetReport:
     """A zoo co-resident on a routed fleet, with per-replica contention.
 
@@ -454,7 +512,7 @@ def simulate_zoo_fleet(
         }
     slas = {t.name: t.sla_ms for t in zoo.tenants}
 
-    solo = simulate_fleet_tenant_streams(
+    solo, solo_runs = _simulate_fleet_tenant_stream_runs(
         fleet, latency_models, streams,
         assignments=assignments, policy=policy,
         sla_ms=slas, seed=seed,
@@ -486,7 +544,7 @@ def simulate_zoo_fleet(
     if all(
         f == 1.0 for per in factors.values() for f in per.values()
     ):
-        reports = solo
+        runs = solo_runs
     else:
         contended_models = {
             name: {
@@ -499,20 +557,26 @@ def simulate_zoo_fleet(
             }
             for name in zoo.tenant_names
         }
-        reports = simulate_fleet_tenant_streams(
+        _, runs = _simulate_fleet_tenant_stream_runs(
             fleet, contended_models, streams,
             assignments=assignments, policy=policy,
             sla_ms=slas, seed=seed,
         )
-    goodput, attainment = _aggregate(reports)
-    return ZooFleetReport(
-        zoo=zoo.name,
-        fleet=fleet.name,
-        tenant_reports=dict(reports),
-        contention=contention,
-        aggregate_goodput_qps=goodput,
-        sla_attainment_pct=attainment,
+    group = GroupRun(
+        meta={
+            "kind": "zoo_fleet",
+            "zoo": zoo.name,
+            "fleet": fleet.name,
+            "contention": {
+                replica: dict(per)
+                for replica, per in contention.items()
+            },
+        },
+        children=dict(runs),
     )
+    report = fold_zoo_fleet_report(group)
+    emit_run(sink, group)
+    return report
 
 
 def _tenant_replicas(

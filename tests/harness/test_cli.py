@@ -1,11 +1,41 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.harness.cli import build_parser, main
 
 
 class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_run_out_and_record_flags(self):
+        args = build_parser().parse_args(
+            ["run", "tab3", "--out", "r.json", "--record", "t.jsonl"]
+        )
+        assert args.out == "r.json"
+        assert args.record == "t.jsonl"
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay", "run.jsonl"])
+        assert args.recording == "run.jsonl"
+        assert args.report == "summary"
+
+    def test_replay_report_choices(self):
+        args = build_parser().parse_args(
+            ["replay", "run.jsonl", "--report", "timeline"]
+        )
+        assert args.report == "timeline"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["replay", "run.jsonl", "--report", "interpretive-dance"]
+            )
     def test_list_command(self):
         args = build_parser().parse_args(["list"])
         assert args.command == "list"
@@ -76,3 +106,77 @@ class TestMain:
         assert "Scenario serving" in out
         assert "goodput_qps" in out
         assert "continuous" in out
+
+
+class TestMachineReadableOut:
+    def test_out_writes_one_json_document(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(
+            ["run", "tab3", "--sms", "1", "--out", str(out_path)]
+        ) == 0
+        document = json.loads(out_path.read_text())
+        assert document["tool"] == "repro-harness"
+        assert document["version"] == __version__
+        assert document["config"] == {"sms": 1, "seed": 0}
+        (table,) = document["experiments"]
+        assert table["exp_id"] == "tab3"
+        assert table["columns"] and table["rows"]
+        assert str(out_path) in capsys.readouterr().out
+
+
+class TestRecordReplay:
+    def test_record_then_replay_roundtrip(self, tmp_path, capsys):
+        rec = tmp_path / "run.jsonl"
+        assert main([
+            "run", "scenario", "--sms", "1", "--profile", "poisson",
+            "--record", str(rec),
+        ]) == 0
+        assert "telemetry:" in capsys.readouterr().out
+        assert rec.read_text().startswith('{"k":"telemetry"')
+
+        assert main(["replay", str(rec)]) == 0
+        out = capsys.readouterr().out
+        assert "StreamReport" in out
+
+        assert main(["replay", str(rec), "--report", "phases"]) == 0
+        assert "phase steady:" in capsys.readouterr().out
+
+        assert main(["replay", str(rec), "--report", "timeline"]) == 0
+        assert "peak queue" in capsys.readouterr().out
+
+        # no zoo runs recorded: the tenants view says so, exit 0
+        assert main(["replay", str(rec), "--report", "tenants"]) == 0
+        assert "no multi-tenant" in capsys.readouterr().out
+
+    def test_record_without_serving_runs_yields_empty_recording(
+        self, tmp_path, capsys
+    ):
+        rec = tmp_path / "empty.jsonl"
+        assert main([
+            "run", "tab3", "--sms", "1", "--record", str(rec),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(rec)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_replay_truncated_file_exits_2(self, tmp_path, capsys):
+        rec = tmp_path / "trunc.jsonl"
+        rec.write_text('{"k":"telemetry","schema":1}\n')
+        assert main(["replay", str(rec)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "truncated" in err
+
+    def test_replay_schema_mismatch_exits_2(self, tmp_path, capsys):
+        rec = tmp_path / "future.jsonl"
+        rec.write_text(
+            '{"k":"telemetry","schema":99}\n{"k":"end","records":0}\n'
+        )
+        assert main(["replay", str(rec)]) == 2
+        err = capsys.readouterr().err
+        assert "schema version 99 is not supported" in err
+        assert "Traceback" not in err
+
+    def test_replay_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "ghost.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err

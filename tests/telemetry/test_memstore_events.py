@@ -1,0 +1,96 @@
+"""Memstore + arbiter telemetry: cache events off the real decision points."""
+
+import numpy as np
+import pytest
+
+from repro.memstore.policy import make_policy
+from repro.memstore.store import EmbeddingStore, HostLink, TierPlan
+from repro.telemetry.sinks import StatsSink, use_sink
+from repro.tenancy import example_zoo, zoo_hit_curves
+from repro.tenancy.arbiter import arbitrate, rearbitrate_on_drift
+
+_LINK = HostLink("pcie", 25.0, 10.0)
+
+
+def _lru_store(sink=None, **kwargs):
+    plan = TierPlan(table_rows=64, resident_rows=4, row_bytes=128,
+                    policy="lru")
+    return EmbeddingStore(
+        plan, _LINK, policy=make_policy("lru", 4), sink=sink, **kwargs
+    )
+
+
+class TestStoreEvents:
+    def test_lookup_emits_hit_miss_and_fetch(self):
+        stats = StatsSink()
+        store = _lru_store(sink=stats, label="t0")
+        tier = store.lookup(np.array([0, 1, 2, 3, 0, 1], dtype=np.int64))
+        assert stats.cache["hits"] == tier.hits
+        assert stats.cache["misses"] == tier.misses
+        assert stats.cache["host_rows"] == tier.host_rows_fetched
+        assert stats.cache["host_bytes"] == tier.host_bytes
+        assert stats.cache["host_us"] == pytest.approx(tier.host_fetch_us)
+
+    def test_eviction_counter_and_event(self):
+        stats = StatsSink()
+        store = _lru_store(sink=stats)
+        # 8 distinct rows through a 4-row cache: must displace
+        store.lookup(np.arange(8, dtype=np.int64))
+        assert store.policy.evictions > 0
+        assert stats.cache["evictions"] == store.policy.evictions
+
+    def test_reset_clears_eviction_counter(self):
+        store = _lru_store()
+        store.lookup(np.arange(8, dtype=np.int64))
+        store.reset()
+        assert store.policy.evictions == 0
+
+    def test_warm_emits_resident_count(self):
+        stats = StatsSink()
+        store = _lru_store(sink=stats)
+        resident = store.warm(np.arange(4, dtype=np.int64))
+        assert stats.counts.get("warm") == 1
+        assert resident == 4
+
+    def test_ambient_sink_used_when_none_given(self):
+        stats = StatsSink()
+        store = _lru_store()
+        with use_sink(stats):
+            store.lookup(np.array([0, 0, 1], dtype=np.int64))
+        assert stats.counts.get("cache_hit") == 1
+        assert stats.counts.get("cache_miss") == 1
+
+    def test_null_sink_costs_no_events(self):
+        stats = StatsSink()
+        store = _lru_store()  # no sink, ambient default is null
+        store.lookup(np.array([0, 1], dtype=np.int64))
+        assert stats.counts == {}
+
+    def test_tier_stats_unchanged_by_telemetry(self):
+        # same trace with and without a sink: identical accounting
+        trace = np.array([0, 1, 2, 3, 4, 0, 1], dtype=np.int64)
+        with_sink = _lru_store(sink=StatsSink()).lookup(trace)
+        without = _lru_store().lookup(trace)
+        assert with_sink == without
+
+
+class TestArbiterEvents:
+    def test_rearbitrate_emits_grant_summary(self):
+        zoo = example_zoo(2, hbm_floor_fraction=0.0)
+        curves = zoo_hit_curves(zoo, num_sms=2, seed=0)
+        budget = sum(c.table_bytes for c in curves.values()) // 20
+        stats = StatsSink()
+        with use_sink(stats):
+            grant = rearbitrate_on_drift(
+                zoo, budget, drift_phase=1, drift_per_phase=0.3, seed=0,
+            )
+        assert stats.counts.get("re_arbitrate") == 1
+
+    def test_initial_arbitration_is_silent(self):
+        zoo = example_zoo(2, hbm_floor_fraction=0.0)
+        curves = zoo_hit_curves(zoo, num_sms=2, seed=0)
+        budget = sum(c.table_bytes for c in curves.values()) // 20
+        stats = StatsSink()
+        with use_sink(stats):
+            arbitrate(budget, curves)
+        assert "re_arbitrate" not in stats.counts
